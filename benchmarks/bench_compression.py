@@ -1,0 +1,76 @@
+"""Section 8 extension — compressing the deployed model.
+
+Prunes and quantizes the trained policy and measures (a) action fidelity
+against the uncompressed model and (b) per-step inference cost, the two
+quantities the paper's overhead discussion trades off.
+"""
+
+import copy
+import time
+
+import numpy as np
+
+from conftest import once
+
+from repro.collector.gr_unit import STATE_DIM
+from repro.core.compress import nonzero_count, prune_magnitude, quantize_per_tensor
+from repro.core.networks import FastPolicy
+
+
+def _fidelity(fast_a, fast_b, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    ha, hb = fast_a.initial_state(), fast_b.initial_state()
+    diffs = []
+    for _ in range(n):
+        s = rng.standard_normal(STATE_DIM) * 0.3
+        ra, ha = fast_a.step(s, ha)
+        rb, hb = fast_b.step(s, hb)
+        diffs.append(abs(np.log(ra) - np.log(rb)))
+    return float(np.mean(diffs))
+
+
+def _speed(fast, n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    h = fast.initial_state()
+    t0 = time.perf_counter()
+    for _ in range(n):
+        _, h = fast.step(rng.standard_normal(STATE_DIM), h)
+    return (time.perf_counter() - t0) / n
+
+
+def test_compression_tradeoff(benchmark, sage_agent):
+    base_policy = sage_agent.policy
+
+    def run():
+        rows = []
+        fast0 = FastPolicy(base_policy)
+        rows.append(("original", nonzero_count(base_policy), 0.0, _speed(fast0)))
+        for sparsity in (0.3, 0.6, 0.9):
+            p = copy.deepcopy(base_policy)
+            prune_magnitude(p, sparsity)
+            fast = FastPolicy(p)
+            rows.append(
+                (f"pruned-{int(sparsity * 100)}%", nonzero_count(p),
+                 _fidelity(fast0, fast), _speed(fast))
+            )
+        for bits in (8, 4):
+            p = copy.deepcopy(base_policy)
+            quantize_per_tensor(p, n_bits=bits)
+            fast = FastPolicy(p)
+            rows.append(
+                (f"int{bits}", nonzero_count(p), _fidelity(fast0, fast),
+                 _speed(fast))
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print("\n=== Compression: footprint vs fidelity vs speed ===")
+    print(f"{'variant':>12} {'nonzeros':>9} {'|dlog action|':>14} {'us/step':>8}")
+    for name, nz, fid, spd in rows:
+        print(f"{name:>12} {nz:>9} {fid:14.4f} {spd * 1e6:8.1f}")
+
+    base_nz = rows[0][1]
+    by_name = {r[0]: r for r in rows}
+    assert by_name["pruned-90%"][1] < 0.3 * base_nz  # real footprint cut
+    assert by_name["int8"][2] < 0.2  # int8 barely moves the actions
+    assert by_name["pruned-30%"][2] < by_name["pruned-90%"][2]  # monotone damage

@@ -1,0 +1,27 @@
+"""Fig. 1 — winning rates of the heuristic CC schemes in Set I and Set II.
+
+Paper shape: Vegas/YeAH/Copa-style delay-sensitive schemes top the
+single-flow ranking while scoring near zero on TCP-friendliness; Cubic/
+HTCP/BIC top the multi-flow ranking; the two orderings roughly invert.
+"""
+
+from conftest import bench_pool_schemes, bench_set1, bench_set2, once
+
+from repro.evalx.leagues import Participant, run_league
+
+
+def test_fig01_heuristic_league(benchmark):
+    parts = [Participant.from_scheme(s) for s in bench_pool_schemes()]
+
+    def run():
+        return run_league(parts, set1=bench_set1(), set2=bench_set2())
+
+    result = once(benchmark, run)
+    print("\n=== Fig. 1: heuristic league winning rates ===")
+    print(result.format_table())
+
+    r1, r2 = dict(result.set1_rates), dict(result.set2_rates)
+    # Shape checks mirroring the paper's headline observations:
+    assert r1["vegas"] > r1["cubic"], "Vegas must beat Cubic in Set I"
+    assert r2["cubic"] > r2["vegas"], "Cubic must beat Vegas in Set II"
+    assert r2["vegas"] <= 0.10, "Vegas is not TCP-friendly (paper: 0.6%)"

@@ -1,0 +1,28 @@
+"""Fig. 5 — the TCP-friendliness reward curve.
+
+Regenerates R2(x) = exp(-8 (x-1)^2) over the fair-share ratio and checks
+the depicted shape: peak of 1.0 exactly at the ideal fair share, symmetric
+decay on both sides.
+"""
+
+import numpy as np
+
+from repro.collector.rewards import friendliness_reward
+
+
+def test_fig05_friendliness_reward_curve(benchmark):
+    xs = np.linspace(0.0, 2.0, 41)
+    fair = 24e6
+
+    def curve():
+        return np.array([friendliness_reward(x * fair, fair) for x in xs])
+
+    r = benchmark(curve)
+    print("\n=== Fig. 5: R2 vs x = r/fair_share ===")
+    for x, v in zip(xs[::4], r[::4]):
+        bar = "#" * int(v * 40)
+        print(f"x={x:4.1f}  R2={v:6.4f}  {bar}")
+    peak = int(np.argmax(r))
+    assert xs[peak] == 1.0
+    np.testing.assert_allclose(r, r[::-1], atol=1e-12)  # symmetry
+    assert r[0] < 0.001 and r[-1] < 0.001

@@ -1,0 +1,36 @@
+"""Fig. 7 — Sage's winning rate over the training "days".
+
+The paper records a checkpoint every ~24 h for 7 days and plots the model's
+winning rate against the heuristic league in Set I and Set II; Sage crosses
+the best heuristics' rates as training progresses. Here each checkpoint is
+an evenly-spaced snapshot of the CRR run, evaluated on a reduced league.
+"""
+
+from conftest import bench_pool_schemes, bench_set1, bench_set2, once
+
+from repro.evalx.leagues import Participant, run_league
+
+
+def test_fig07_training_curve(benchmark, sage_run):
+    set1 = bench_set1()[:2]
+    set2 = bench_set2()[:2]
+    schemes = [Participant.from_scheme(s) for s in bench_pool_schemes()[:4]]
+
+    def curve():
+        points = []
+        for day in range(0, len(sage_run.checkpoints), 2):
+            agent = sage_run.agent_at(day)
+            agent.name = "sage"
+            res = run_league(
+                schemes + [Participant.from_agent(agent)], set1=set1, set2=set2
+            )
+            points.append((day, res.set1_rates["sage"], res.set2_rates["sage"]))
+        return points
+
+    points = once(benchmark, curve)
+    print("\n=== Fig. 7: Sage winning rate vs training day ===")
+    print(f"{'day':>4} {'Set I':>8} {'Set II':>8}")
+    for day, r1, r2 in points:
+        print(f"{day:>4} {r1 * 100:7.2f}% {r2 * 100:7.2f}%")
+    assert len(points) >= 2
+    assert all(0.0 <= r1 <= 1.0 and 0.0 <= r2 <= 1.0 for _, r1, r2 in points)

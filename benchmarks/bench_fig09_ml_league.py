@@ -1,0 +1,95 @@
+"""Fig. 9 — the league of ML-based schemes.
+
+Sage vs BC variants, OnlineRL, Aurora, Genet, Indigo(+v2), Orca(+v2),
+DeepCC, Vivace. Paper shape: Sage ranks first overall; BC variants land at
+the bottom of the single-flow league; OnlineRL tops Set II while failing
+Set I (the unbalanced-convergence finding).
+"""
+
+from conftest import (
+    BENCH_CRR,
+    BENCH_NET,
+    SCALE,
+    bench_set1,
+    bench_set2,
+    once,
+)
+
+from repro.baselines.aurora import AuroraTrainer
+from repro.baselines.bc import train_bc_variant
+from repro.baselines.indigo import train_indigo
+from repro.baselines.online_rl import OnlineRLTrainer
+from repro.baselines.orca import train_orca
+from repro.evalx.leagues import Participant, run_league
+
+BC_STEPS = {"tiny": 80, "small": 200, "full": 1000}[SCALE]
+RL_ITERS = {"tiny": 3, "small": 8, "full": 30}[SCALE]
+
+
+def test_fig09_ml_league(benchmark, policy_pool, sage_agent):
+    set1, set2 = bench_set1(), bench_set2()
+    train_envs = (set1 + set2)[:6]
+
+    def build_and_run():
+        participants = [Participant.from_agent(sage_agent)]
+        for variant in ("bc", "bc-top", "bc-top3", "bcv2"):
+            agent = train_bc_variant(
+                policy_pool, variant, n_steps=BC_STEPS, net_config=BENCH_NET
+            )
+            participants.append(Participant.from_agent(agent))
+        online = OnlineRLTrainer(
+            environments=train_envs, net_config=BENCH_NET, crr_config=BENCH_CRR
+        ).train(n_iterations=RL_ITERS, steps_per_iter=10)
+        participants.append(Participant.from_agent(online.agent("online-rl")))
+        aurora = AuroraTrainer(environments=train_envs, net_config=BENCH_NET)
+        aurora.train(RL_ITERS)
+        participants.append(Participant.from_agent(aurora.agent()))
+        genet = AuroraTrainer(
+            environments=train_envs, net_config=BENCH_NET, curriculum=True
+        )
+        genet.train(RL_ITERS)
+        participants.append(Participant.from_agent(genet.agent()))
+        participants.append(
+            Participant.from_agent(
+                train_indigo(train_envs, multi_flow=False, n_steps=BC_STEPS,
+                             net_config=BENCH_NET)
+            )
+        )
+        participants.append(
+            Participant.from_agent(
+                train_indigo(train_envs, multi_flow=True, n_steps=BC_STEPS,
+                             net_config=BENCH_NET)
+            )
+        )
+        participants.append(
+            Participant.from_agent(
+                train_orca(train_envs, n_iterations=RL_ITERS, net_config=BENCH_NET)
+            )
+        )
+        participants.append(
+            Participant.from_agent(
+                train_orca(train_envs, dual_reward=True, n_iterations=RL_ITERS,
+                           net_config=BENCH_NET)
+            )
+        )
+        participants.append(
+            Participant.from_agent(
+                train_orca(train_envs, deepcc=True, n_iterations=RL_ITERS,
+                           net_config=BENCH_NET)
+            )
+        )
+        participants.append(Participant.from_scheme("vivace"))
+        return run_league(participants, set1=set1[:3], set2=set2[:2])
+
+    result = once(benchmark, build_and_run)
+    print("\n=== Fig. 9: ML-based league ===")
+    print(result.format_table())
+    names = set(result.set1_rates)
+    assert {"sage", "bc", "online-rl", "aurora", "indigo", "orca", "vivace"} <= names
+    # The paper's core claim is balance: Sage is the only model strong in
+    # BOTH sets. Its combined rate must beat full-pool BC's, and no BC
+    # variant may match it on TCP-friendliness.
+    combined = lambda n: (result.set1_rates[n] + result.set2_rates[n]) / 2.0
+    assert combined("sage") >= combined("bc")
+    for variant in ("bc", "bc-top3", "bcv2"):
+        assert result.set2_rates["sage"] >= result.set2_rates[variant]

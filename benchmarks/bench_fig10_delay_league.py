@@ -1,0 +1,27 @@
+"""Fig. 10 — the league of delay-based schemes.
+
+Sage vs BBR2, Copa, C2TCP, LEDBAT, Vegas, Sprout. Paper shape: Sage ranks
+first in both sets even though Set I is the home turf of delay-based
+designs; Vegas/Sprout collapse in Set II.
+"""
+
+from conftest import bench_set1, bench_set2, once
+
+from repro.evalx.leagues import DELAY_LEAGUE_NAMES, Participant, run_league
+
+
+def test_fig10_delay_league(benchmark, sage_agent):
+    parts = [Participant.from_scheme(s) for s in DELAY_LEAGUE_NAMES]
+    parts.append(Participant.from_agent(sage_agent))
+
+    def run():
+        return run_league(parts, set1=bench_set1(), set2=bench_set2())
+
+    result = once(benchmark, run)
+    print("\n=== Fig. 10: delay-based league ===")
+    print(result.format_table())
+    # The paper's Set II collapse of pure delay-based schemes:
+    assert result.set2_rates["vegas"] <= 0.15
+    # Sage holds a competitive multi-flow rate against the delay league.
+    sage_rank2 = [n for n, _ in result.ranking("set2")].index("sage")
+    assert sage_rank2 <= 3

@@ -1,0 +1,37 @@
+"""Fig. 12 — ablation study.
+
+Six variants retrained identically: three input ablations (no Min/Max,
+no rttVar-rate block, no Loss/Inflight block) and three architecture
+ablations (no GRU, no post-encoder, no GMM). Paper shape: every ablation
+loses winning rate somewhere; the GRU matters most.
+"""
+
+from dataclasses import replace
+
+from conftest import BENCH_CRR, BENCH_NET, SCALE, bench_set1, bench_set2, once
+
+from repro.core.ablation import ABLATIONS, train_ablation
+from repro.evalx.leagues import Participant, run_league
+
+STEPS = {"tiny": 60, "small": 200, "full": 1000}[SCALE]
+
+
+def test_fig12_ablation(benchmark, policy_pool, sage_agent):
+    set1, set2 = bench_set1()[:2], bench_set2()[:2]
+
+    def run():
+        participants = [Participant.from_agent(sage_agent)]
+        for name in ABLATIONS:
+            agent = train_ablation(
+                policy_pool, name, n_steps=STEPS, net_config=BENCH_NET,
+                crr_config=BENCH_CRR,
+            )
+            participants.append(Participant.from_agent(agent))
+        return run_league(participants, set1=set1, set2=set2)
+
+    result = once(benchmark, run)
+    print("\n=== Fig. 12: ablations ===")
+    print(result.format_table())
+    names = set(result.set1_rates)
+    assert {"sage", "no-minmax", "no-gru", "no-gmm", "no-encoder",
+            "no-rttvar", "no-loss-inf"} <= names

@@ -1,0 +1,55 @@
+"""Fig. 13 — Sage's Similarity Indices to the pool schemes.
+
+Eight environments, one row each: the cosine similarity of Sage's
+trajectories to each scheme's trajectories. Paper shape: the most-similar
+scheme *changes across environments* — the learned model is not a clone of
+any single heuristic.
+"""
+
+from conftest import SCALE, bench_pool_schemes, once
+
+from repro.collector.environments import EnvConfig
+from repro.collector.rollout import collect_trajectory, run_policy
+from repro.evalx.similarity import similarity_table
+
+N_ENVS = {"tiny": 4, "small": 8, "full": 8}[SCALE]
+
+
+def _envs():
+    base = [
+        (24.0, 0.04, 2.0, 0), (48.0, 0.02, 1.0, 0), (12.0, 0.06, 4.0, 0),
+        (24.0, 0.04, 4.0, 1), (48.0, 0.04, 2.0, 1), (12.0, 0.02, 8.0, 0),
+        (24.0, 0.02, 0.5, 0), (48.0, 0.06, 8.0, 1),
+    ][:N_ENVS]
+    return [
+        EnvConfig(
+            env_id=f"fig13-{i}", kind="flat", bw_mbps=bw, min_rtt=rtt,
+            buffer_bdp=buf, n_competing_cubic=nc, duration=8.0,
+        )
+        for i, (bw, rtt, buf, nc) in enumerate(base)
+    ]
+
+
+def test_fig13_similarity_indices(benchmark, sage_agent):
+    envs = _envs()
+    schemes = bench_pool_schemes()[:5]
+
+    def run():
+        sage_rollouts = [run_policy(env, sage_agent) for env in envs]
+        scheme_rollouts = {
+            s: [collect_trajectory(env, s) for env in envs] for s in schemes
+        }
+        return similarity_table(sage_rollouts, scheme_rollouts)
+
+    table = once(benchmark, run)
+    print("\n=== Fig. 13: Similarity Indices (rows = envs) ===")
+    header = "env   " + "  ".join(f"{s:>9}" for s in schemes)
+    print(header)
+    winners = []
+    for i in range(len(envs)):
+        row = [table[s][i] for s in schemes]
+        winners.append(schemes[row.index(max(row))])
+        print(f"{i:>3}   " + "  ".join(f"{v:9.4f}" for v in row))
+    print("most similar per env:", winners)
+    for s in schemes:
+        assert all(-1.0 <= v <= 1.0 for v in table[s])

@@ -1,0 +1,51 @@
+"""Fig. 14 — impact of the observation-window granularity.
+
+Pools rebuilt with a *single* window size — Small (10), Medium (200),
+Large (1000) ticks — train Sage-s / Sage-m / Sage-l; default Sage keeps all
+three timescales. Paper shape: the long window wins the TCP-friendliness
+set; the full three-timescale input wins overall.
+"""
+
+from conftest import (
+    BENCH_CRR,
+    BENCH_NET,
+    SCALE,
+    bench_pool_schemes,
+    bench_set1,
+    bench_set2,
+    once,
+)
+
+from repro.collector.gr_unit import WindowConfig
+from repro.core.training import collect_pool, train_sage_on_pool
+from repro.evalx.leagues import Participant, run_league
+
+STEPS = {"tiny": 60, "small": 200, "full": 1000}[SCALE]
+WINDOWS = {
+    "sage-s": WindowConfig(small=10, medium=10, large=10),
+    "sage-m": WindowConfig(small=200, medium=200, large=200),
+    "sage-l": WindowConfig(small=1000, medium=1000, large=1000),
+}
+
+
+def test_fig14_window_granularity(benchmark, sage_agent):
+    set1, set2 = bench_set1()[:2], bench_set2()[:2]
+    collect_envs = (set1 + set2)[:4]
+    schemes = bench_pool_schemes()[:3]
+
+    def run():
+        participants = [Participant.from_agent(sage_agent)]
+        for name, windows in WINDOWS.items():
+            pool = collect_pool(collect_envs, schemes=schemes, windows=windows)
+            r = train_sage_on_pool(
+                pool, n_steps=STEPS, n_checkpoints=1, net_config=BENCH_NET,
+                crr_config=BENCH_CRR,
+            )
+            r.agent.name = name
+            participants.append(Participant.from_agent(r.agent))
+        return run_league(participants, set1=set1, set2=set2)
+
+    result = once(benchmark, run)
+    print("\n=== Fig. 14: window-granularity variants ===")
+    print(result.format_table())
+    assert {"sage", "sage-s", "sage-m", "sage-l"} <= set(result.set1_rates)

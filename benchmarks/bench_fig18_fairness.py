@@ -1,0 +1,40 @@
+"""Figs. 18 & 27 — fairness among same-scheme flows with staggered joins.
+
+Flows of one scheme join a shared bottleneck every ``join_every`` seconds.
+Paper shape: most schemes (and Sage) converge to near-equal shares; Jain's
+index approaches 1 in the steady tail.
+"""
+
+from conftest import SCALE, once
+
+from repro.evalx.dynamics import fairness_experiment
+from repro.evalx.leagues import Participant
+
+SCHEMES = ["cubic", "vegas", "bbr2"]
+N_FLOWS = {"tiny": 3, "small": 4, "full": 4}[SCALE]
+JOIN = {"tiny": 6.0, "small": 12.0, "full": 25.0}[SCALE]
+DUR = {"tiny": 24.0, "small": 60.0, "full": 120.0}[SCALE]
+
+
+def test_fig18_fairness(benchmark, sage_agent):
+    def run():
+        out = {}
+        for s in SCHEMES:
+            out[s] = fairness_experiment(
+                Participant.from_scheme(s), n_flows=N_FLOWS, join_every=JOIN,
+                bw_mbps=24.0, duration=DUR,
+            )
+        out["sage"] = fairness_experiment(
+            Participant.from_agent(sage_agent), n_flows=N_FLOWS, join_every=JOIN,
+            bw_mbps=24.0, duration=DUR,
+        )
+        return out
+
+    results = once(benchmark, run)
+    print("\n=== Fig. 18/27: Jain fairness index (tail) ===")
+    for name, res in results.items():
+        rates = [s.avg_throughput_bps / 1e6 for s in res.flow_stats]
+        print(f"{name:>8}: jain={res.jain_index():.3f}  shares(Mbps)="
+              + " ".join(f"{r:5.2f}" for r in rates))
+    assert results["cubic"].jain_index() > 0.6
+    assert results["sage"].jain_index() > 0.3

@@ -1,0 +1,46 @@
+"""Figs. 19 & 28 — TCP-friendliness vs 3 and 7 Cubic flows.
+
+48 Mbps, 40 ms mRTT, BDP buffer. The pool only ever contained two-flow
+scenarios, so this probes generalization to more competitors. Paper shape:
+Sage neither starves (Indigo's failure) nor bullies (Aurora's failure);
+Cubic-vs-Cubics is the fair reference.
+"""
+
+from conftest import SCALE, once
+
+from repro.evalx.dynamics import friendliness_experiment
+from repro.evalx.leagues import Participant
+
+DUR = {"tiny": 20.0, "small": 40.0, "full": 120.0}[SCALE]
+COUNTS = {"tiny": (3,), "small": (3, 7), "full": (3, 7)}[SCALE]
+
+
+def test_fig19_friendliness(benchmark, sage_agent):
+    def run():
+        out = {}
+        for n in COUNTS:
+            for p in (
+                Participant.from_agent(sage_agent),
+                Participant.from_scheme("cubic"),
+                Participant.from_scheme("bbr2"),
+            ):
+                out[(p.name, n)] = friendliness_experiment(
+                    p, n_cubic=n, bw_mbps=48.0, min_rtt=0.040, duration=DUR
+                )
+        return out
+
+    results = once(benchmark, run)
+    print("\n=== Fig. 19/28: throughput vs N cubic flows ===")
+    for (name, n), res in results.items():
+        mine = res.flow_stats[0].avg_throughput_bps / 1e6
+        others = [s.avg_throughput_bps / 1e6 for s in res.flow_stats[1:]]
+        fair = 48.0 / (n + 1)
+        print(
+            f"{name:>8} vs {n} cubics: mine={mine:5.2f} Mbps "
+            f"(fair={fair:5.2f})  cubics=" + " ".join(f"{o:5.2f}" for o in others)
+        )
+    for n in COUNTS:
+        fair = 48e6 / (n + 1)
+        mine = results[("sage", n)].flow_stats[0].avg_throughput_bps
+        # neither starved nor hogging (paper's qualitative criterion)
+        assert 0.1 * fair < mine < 3.5 * fair

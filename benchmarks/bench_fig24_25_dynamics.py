@@ -1,0 +1,60 @@
+"""Figs. 24 & 25 — friendliness dynamics in small and large buffers.
+
+One flow of each tested scheme vs a head-start Cubic flow: small buffer
+(80 pkt) and large buffer (1280 pkt) at 24 Mbps / 40 ms. Paper shape:
+delay-based schemes starve in the large buffer; aggressive online-RL-style
+policies crush Cubic; Sage and Cubic share.
+"""
+
+import numpy as np
+
+from conftest import once
+
+from repro.collector.environments import EnvConfig
+from repro.evalx.leagues import Participant, run_participant
+
+PKT = 1500.0
+
+
+def _env(buffer_pkts, name):
+    bdp_bytes = 24e6 * 0.04 / 8
+    return EnvConfig(
+        env_id=name, kind="flat", bw_mbps=24.0, min_rtt=0.04,
+        buffer_bdp=buffer_pkts * PKT / bdp_bytes, n_competing_cubic=1,
+        duration=20.0,
+    )
+
+
+def test_fig24_25_buffer_dynamics(benchmark, sage_agent):
+    small = _env(80, "fig24-small")
+    large = _env(1280, "fig24-large")
+    parts = [
+        Participant.from_agent(sage_agent),
+        Participant.from_scheme("vegas"),
+        Participant.from_scheme("copa"),
+        Participant.from_scheme("ledbat"),
+        Participant.from_scheme("cubic"),
+    ]
+
+    def run():
+        out = {}
+        for env in (small, large):
+            for p in parts:
+                r = run_participant(p, env)
+                out[(p.name, env.env_id)] = (
+                    r.stats.avg_throughput_bps,
+                    r.competitor_stats[0].avg_throughput_bps,
+                )
+        return out
+
+    out = once(benchmark, run)
+    print("\n=== Fig. 24/25: scheme vs cubic (Mbps), small & large buffer ===")
+    for (name, env_id), (mine, cubic) in out.items():
+        print(f"{name:>8} [{env_id}]: scheme={mine / 1e6:5.2f}  cubic={cubic / 1e6:5.2f}")
+
+    # the well-known large-buffer starvation of delay-based schemes
+    vegas_large = out[("vegas", "fig24-large")]
+    assert vegas_large[0] < 0.5 * vegas_large[1]
+    # cubic-vs-cubic reference stays roughly balanced
+    cc = out[("cubic", "fig24-large")]
+    assert 0.2 < cc[0] / max(cc[1], 1.0) < 5.0

@@ -1,0 +1,104 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at a reduced,
+laptop-scale configuration (the *shape* of each result — who wins, by
+roughly what factor — is the reproduction target, not absolute numbers).
+
+Set ``REPRO_BENCH_SCALE=small`` (or ``full``) to enlarge the grids; the
+default ``tiny`` keeps the whole suite in the minutes range.
+
+Session-scoped fixtures build the expensive shared artifacts once: the pool
+of policies and a trained Sage agent.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.collector.environments import EnvConfig, set1_environments, set2_environments
+from repro.core.crr import CRRConfig
+from repro.core.networks import NetworkConfig
+from repro.core.training import collect_pool, train_sage_on_pool
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+#: network size used by every learned model in the benches
+BENCH_NET = NetworkConfig(enc_dim=24, gru_dim=24, n_components=2, n_atoms=11)
+BENCH_CRR = CRRConfig(batch_size=8, seq_len=6, lr_policy=1e-3, lr_critic=1e-3)
+
+#: pool schemes used at tiny scale (a diverse subset of the 13)
+TINY_POOL_SCHEMES = ["cubic", "vegas", "bbr2", "newreno", "yeah", "westwood"]
+
+
+def bench_set1(duration=None):
+    if SCALE == "tiny":
+        return set1_environments(
+            bws=(24.0,), rtts=(0.04,), buffers=(1.0, 4.0),
+            step_ms=(0.5, 2.0), duration=duration or 10.0,
+        )
+    if SCALE == "small":
+        return set1_environments(
+            bws=(24.0, 48.0), rtts=(0.02, 0.06), buffers=(1.0, 4.0),
+            step_ms=(0.5, 2.0), duration=duration or 12.0,
+        )
+    return set1_environments(duration=duration or 20.0)
+
+
+def bench_set2(duration=None):
+    if SCALE == "tiny":
+        return set2_environments(
+            bws=(24.0,), rtts=(0.04,), buffers=(2.0, 8.0),
+            duration=duration or 14.0,
+        )
+    if SCALE == "small":
+        return set2_environments(
+            bws=(24.0, 48.0), rtts=(0.02, 0.06), buffers=(2.0, 8.0),
+            duration=duration or 16.0,
+        )
+    return set2_environments(duration=duration or 30.0)
+
+
+def bench_pool_schemes():
+    if SCALE == "tiny":
+        return list(TINY_POOL_SCHEMES)
+    from repro.tcp.cc_base import POOL_SCHEMES
+
+    return list(POOL_SCHEMES)
+
+
+_TRAIN_STEPS = {"tiny": 350, "small": 800, "full": 3000}[SCALE]
+
+
+@pytest.fixture(scope="session")
+def policy_pool():
+    """The pool of policies, collected once per bench session."""
+    envs = bench_set1() + bench_set2()
+    return collect_pool(envs, schemes=bench_pool_schemes())
+
+
+@pytest.fixture(scope="session")
+def sage_run(policy_pool):
+    """A trained Sage (with per-"day" checkpoints)."""
+    return train_sage_on_pool(
+        policy_pool,
+        n_steps=_TRAIN_STEPS,
+        n_checkpoints=7,
+        net_config=BENCH_NET,
+        crr_config=BENCH_CRR,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def sage_agent(sage_run):
+    agent = sage_run.agent
+    agent.name = "sage"
+    return agent
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Extending the library: write a CC scheme, enter it in a league, and add
+its trajectories to a Sage training pool.
+
+This is the downstream-user story the paper's Section 8 invites: any scheme
+exposing the kernel-style hook API can be observed by the Policy Collector
+and become part of the pool Sage learns from.
+
+Run:  python examples/custom_scheme.py
+"""
+
+from repro.collector.environments import EnvConfig
+from repro.collector.rollout import collect_trajectory
+from repro.core.training import collect_pool
+from repro.evalx.leagues import Participant, run_league
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class AimdHalf(CongestionControl):
+    """A toy AIMD variant: additive increase 2/RTT, decrease to 2/3."""
+
+    name = "aimd-half"
+
+    def on_ack(self, sock, n_acked, rtt, now):
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+        else:
+            sock.cwnd += 2.0 * n_acked / max(sock.cwnd, 1.0)
+
+    def ssthresh(self, sock):
+        return max(sock.cwnd * 2.0 / 3.0, self.MIN_CWND)
+
+
+def main() -> None:
+    # 1. It immediately works as a league participant.
+    set1 = [
+        EnvConfig(env_id="c1", kind="flat", bw_mbps=24.0, min_rtt=0.04,
+                  buffer_bdp=2.0, duration=8.0)
+    ]
+    set2 = [
+        EnvConfig(env_id="c2", kind="flat", bw_mbps=24.0, min_rtt=0.04,
+                  buffer_bdp=4.0, n_competing_cubic=1, duration=10.0)
+    ]
+    parts = [Participant.from_scheme(s) for s in ("cubic", "vegas", "aimd-half")]
+    result = run_league(parts, set1=set1, set2=set2)
+    print(result.format_table())
+
+    # 2. The Policy Collector records it like any kernel scheme ...
+    rollout = collect_trajectory(set1[0], "aimd-half")
+    print(f"\ncollected {rollout.length} transitions from aimd-half "
+          f"(thr={rollout.stats.avg_throughput_bps / 1e6:.2f} Mbps)")
+
+    # 3. ... so it can join a Sage training pool.
+    pool = collect_pool(set1 + set2, schemes=["cubic", "vegas", "aimd-half"])
+    print(pool.summary())
+
+
+if __name__ == "__main__":
+    main()

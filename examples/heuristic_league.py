@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fig.-1-style league: rank the kernel heuristics on Set I and Set II.
+
+Demonstrates the evaluation framework: environments, interval scoring,
+winner margins, and winning rates. Expect Vegas-like schemes to top the
+single-flow table while scoring near zero on TCP-friendliness, and
+Cubic-family schemes to do the reverse — the tension Sage resolves.
+
+Run:  python examples/heuristic_league.py  [--schemes cubic,vegas,...]
+"""
+
+import argparse
+
+from repro.collector.environments import set1_environments, set2_environments
+from repro.evalx.leagues import HEURISTIC_LEAGUE, Participant, run_league
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--schemes",
+        default="cubic,vegas,bbr2,newreno,yeah,westwood",
+        help="comma-separated scheme names (default: a fast subset; "
+        f"full league: {','.join(HEURISTIC_LEAGUE)})",
+    )
+    parser.add_argument("--duration", type=float, default=10.0)
+    args = parser.parse_args()
+
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    participants = [Participant.from_scheme(s) for s in schemes]
+    set1 = set1_environments(
+        bws=(24.0,), rtts=(0.02, 0.06), buffers=(1.0, 4.0),
+        step_ms=(0.5, 2.0), duration=args.duration,
+    )
+    set2 = set2_environments(
+        bws=(24.0,), rtts=(0.02, 0.06), buffers=(2.0, 8.0),
+        duration=args.duration + 4.0,
+    )
+    print(f"running {len(participants)} schemes over "
+          f"{len(set1)} Set I + {len(set2)} Set II environments ...")
+    result = run_league(participants, set1=set1, set2=set2)
+    print()
+    print(result.format_table())
+
+
+if __name__ == "__main__":
+    main()

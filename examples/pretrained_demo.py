@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Deploy the shipped pretrained Sage checkpoint on a few networks.
+
+Run:  python examples/pretrained_demo.py
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.collector.environments import EnvConfig
+from repro.collector.rollout import collect_trajectory, run_policy
+from repro.core.agent import SageAgent
+from repro.core.networks import NetworkConfig
+
+MODEL_DIR = Path(__file__).resolve().parent.parent / "models"
+
+
+def load_pretrained() -> SageAgent:
+    meta = json.loads((MODEL_DIR / "sage_pretrained.json").read_text())
+    cfg = NetworkConfig(
+        enc_dim=meta["enc_dim"], gru_dim=meta["gru_dim"],
+        n_components=meta["n_components"], n_atoms=meta["n_atoms"],
+    )
+    return SageAgent.load(MODEL_DIR / "sage_pretrained.npz", net_config=cfg)
+
+
+def main() -> None:
+    agent = load_pretrained()
+    scenarios = [
+        EnvConfig(env_id="mid-bdp", kind="flat", bw_mbps=36.0, min_rtt=0.03,
+                  buffer_bdp=2.0, duration=12.0),
+        EnvConfig(env_id="step-up", kind="step", bw_mbps=24.0, min_rtt=0.04,
+                  buffer_bdp=2.0, step_m=2.0, step_at=6.0, duration=12.0),
+        EnvConfig(env_id="vs-cubic", kind="flat", bw_mbps=24.0, min_rtt=0.04,
+                  buffer_bdp=4.0, n_competing_cubic=1, duration=16.0),
+    ]
+    print(f"{'scenario':>10} {'who':>6} {'thr (Mbps)':>11} {'owd (ms)':>9}")
+    for env in scenarios:
+        sage = run_policy(env, agent)
+        cubic = collect_trajectory(env, "cubic")
+        for who, r in (("sage", sage), ("cubic", cubic)):
+            print(f"{env.env_id:>10} {who:>6} "
+                  f"{r.stats.avg_throughput_bps / 1e6:11.2f} "
+                  f"{r.stats.avg_owd * 1e3:9.1f}")
+
+
+if __name__ == "__main__":
+    main()

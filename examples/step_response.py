@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Visualize how schemes react to a capacity step (Fig.-17 style).
+
+Runs two schemes through a 24 -> 48 Mbps step and renders their throughput
+and RTT waveforms as terminal charts.
+
+Run:  python examples/step_response.py [--schemes cubic,vegas]
+"""
+
+import argparse
+
+from repro.collector.environments import EnvConfig
+from repro.collector.rollout import collect_trajectory
+from repro.evalx.plotting import ascii_timeseries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schemes", default="cubic,vegas")
+    parser.add_argument("--duration", type=float, default=20.0)
+    args = parser.parse_args()
+    schemes = [s for s in args.schemes.split(",") if s]
+
+    env = EnvConfig(
+        env_id="step-demo", kind="step", bw_mbps=24.0, min_rtt=0.02,
+        buffer_bdp=4.0, step_m=2.0, step_at=args.duration / 2,
+        duration=args.duration,
+    )
+    thr_series = {}
+    rtt_series = {}
+    for scheme in schemes:
+        r = collect_trajectory(env, scheme)
+        s = r.stats
+        thr_series[scheme] = (s.times, [v / 1e6 for v in s.throughput_series])
+        rtt_series[scheme] = (s.times, [v * 1e3 for v in s.rtt_series])
+
+    print(ascii_timeseries(
+        thr_series, title=f"throughput (capacity steps 24->48 Mbps at "
+        f"t={args.duration / 2:.0f}s)", y_label="Mbps",
+    ))
+    print()
+    print(ascii_timeseries(rtt_series, title="RTT", y_label="ms"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""TCP-friendliness: share a bottleneck with competing Cubic flows.
+
+The Fig.-19 experiment: one flow of the scheme under test joins a link
+already carrying N Cubic flows (48 Mbps, 40 ms, BDP buffer). A friendly
+scheme takes roughly the fair share — neither starving (Vegas/LEDBAT) nor
+bullying.
+
+Run:  python examples/tcp_friendliness.py [--cubics 3]
+"""
+
+import argparse
+
+from repro.evalx.dynamics import friendliness_experiment
+from repro.evalx.leagues import Participant
+
+SCHEMES = ["cubic", "newreno", "vegas", "bbr2", "ledbat", "yeah"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cubics", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=30.0)
+    args = parser.parse_args()
+
+    fair = 48.0 / (args.cubics + 1)
+    print(f"one test flow vs {args.cubics} Cubic flows on 48 Mbps / 40 ms "
+          f"(ideal fair share = {fair:.2f} Mbps)\n")
+    print(f"{'scheme':>9} {'mine (Mbps)':>12} {'cubic avg':>10} {'fair dev':>9}")
+    for scheme in SCHEMES:
+        res = friendliness_experiment(
+            Participant.from_scheme(scheme), n_cubic=args.cubics,
+            bw_mbps=48.0, min_rtt=0.040, duration=args.duration,
+        )
+        mine = res.flow_stats[0].avg_throughput_bps / 1e6
+        cubics = [s.avg_throughput_bps / 1e6 for s in res.flow_stats[1:]]
+        avg_cubic = sum(cubics) / len(cubics)
+        print(f"{scheme:>9} {mine:12.2f} {avg_cubic:10.2f} "
+              f"{abs(mine - fair):9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of *Sage* (SIGCOMM 2023).
+
+Sage is the first purely data-driven (offline-RL) Internet congestion-control
+scheme: it observes trajectories of existing heuristic CC schemes across many
+emulated networks and learns a better-performing policy with
+Critic-Regularized Regression, without ever interacting with a network during
+training.
+
+Top-level subpackages
+---------------------
+``repro.netsim``
+    Discrete-event single-bottleneck network emulator (the Mahimahi
+    substitute): links, queues, AQMs, traces.
+``repro.tcp``
+    A from-scratch TCP-like reliable transport with a pluggable congestion
+    control interface, plus 17 re-implemented CC schemes.
+``repro.collector``
+    Sage's Policy Collector: the General Representation unit (69-dim state,
+    cwnd-ratio actions, dual rewards), Set I / Set II environments, rollouts,
+    and the pool of policies.
+``repro.nn``
+    Reverse-mode autograd on numpy with the layers Sage's network needs
+    (GRU, LayerNorm, residual blocks, GMM head, distributional critic).
+``repro.core``
+    The paper's contribution: CRR offline-RL training and the deployable
+    Sage agent.
+``repro.baselines``
+    BC variants, online RL, Aurora-like, Indigo-like, Orca-like, and
+    Vivace-like baselines used by the paper's league comparisons.
+``repro.evalx``
+    Scores, winning rates, leagues, Internet/cellular evaluations, and the
+    deep-dive analyses (distance CDFs, similarity indices, t-SNE, frontier).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,49 @@
+"""ML-based baselines for the Fig. 9 league.
+
+Each baseline is an honest representative of its learning *category* on the
+same substrate Sage uses (same GR states, same action space, same
+environments), reproducing the paper's category-level comparisons:
+
+- :mod:`~repro.baselines.bc` — Behavioral Cloning (BC, BC-top, BC-top3,
+  BCv2): pure log-likelihood regression on (filtered) pools.
+- :mod:`~repro.baselines.online_rl` — OnlineRL: the online off-policy
+  actor-critic counterpart of Sage (same inputs/rewards/architecture, but
+  interacts with the environments during training).
+- :mod:`~repro.baselines.aurora` — Aurora-like: online *on-policy* policy
+  gradient, MLP (no memory), single-flow reward only; plus the Genet-like
+  curriculum variant.
+- :mod:`~repro.baselines.indigo` — Indigo-like: imitation of a
+  ground-truth oracle controller; plus the multi-flow-retrained Indigov2.
+- :mod:`~repro.baselines.orca` — Orca-like hybrid: Cubic underneath, an RL
+  agent adjusting the window on top; plus the dual-reward-retrained Orcav2
+  and the delay-bounding DeepCC-like plug-in variant.
+- :mod:`~repro.baselines.vivace` — PCC Vivace: online utility-gradient rate
+  control (a deterministic algorithm, registered as a scheme).
+- :mod:`~repro.baselines.remy` — Remy-like computer-generated CC: offline
+  policy *search* over a frozen rule table (Appendix A's early
+  learning-based lineage).
+"""
+
+from repro.baselines.bc import BCTrainer, train_bc_variant, BC_VARIANTS
+from repro.baselines.online_rl import OnlineRLTrainer
+from repro.baselines.aurora import AuroraTrainer
+from repro.baselines.indigo import OracleAgent, train_indigo
+from repro.baselines.orca import OrcaAgent, train_orca
+from repro.baselines.vivace import Vivace
+from repro.baselines.remy import RemyAgent, RemyOptimizer, RemyTable
+
+__all__ = [
+    "RemyAgent",
+    "RemyOptimizer",
+    "RemyTable",
+    "BCTrainer",
+    "train_bc_variant",
+    "BC_VARIANTS",
+    "OnlineRLTrainer",
+    "AuroraTrainer",
+    "OracleAgent",
+    "train_indigo",
+    "OrcaAgent",
+    "train_orca",
+    "Vivace",
+]

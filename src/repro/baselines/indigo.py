@@ -1,0 +1,93 @@
+"""Indigo-like baseline (Yan et al., USENIX ATC 2018): imitate an oracle.
+
+Indigo assumes the optimal congestion controller is *known* for each
+training environment (from ground truth the emulator exposes) and trains a
+network to imitate it. Here the oracle is exact: it reads the environment's
+true capacity and propagation RTT and steers the window toward the BDP
+(single-flow) or toward the fair share (the Indigov2 retraining adds the
+multi-flow oracle, as the paper does following the authors' suggestion).
+
+The known failure mode reproduced here: an oracle that is correct in the
+training environments imitates poorly out of distribution, and mixing the
+two oracles degrades the single-flow model (Fig. 9's Indigo vs Indigov2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.collector.environments import EnvConfig, training_environments
+from repro.collector.pool import PolicyPool, Trajectory
+from repro.collector.rollout import run_policy
+from repro.baselines.bc import BCTrainer
+from repro.core.agent import SageAgent
+from repro.core.networks import NetworkConfig
+from repro.netsim.packet import MSS_BYTES
+
+
+class OracleAgent:
+    """Ground-truth controller: steers cwnd to the BDP / fair-share window.
+
+    Used both to *generate* demonstrations and as the "NATCP (Optimal)"
+    reference point in the Fig. 8/26-style plots.
+    """
+
+    def __init__(self, env: EnvConfig, margin: float = 1.2, name: str = "oracle") -> None:
+        self.env = env
+        self.margin = margin
+        self.name = name
+        self._cwnd = 10.0
+
+    def reset(self) -> None:
+        self._cwnd = 10.0
+
+    def target_cwnd(self) -> float:
+        capacity = self.env.mean_capacity_bps()
+        if self.env.is_multi_flow:
+            capacity /= self.env.n_competing_cubic + 1
+        return max(
+            self.margin * capacity * self.env.min_rtt / (8.0 * MSS_BYTES), 2.0
+        )
+
+    def act(self, state: np.ndarray) -> float:
+        target = self.target_cwnd()
+        ratio = np.clip(target / max(self._cwnd, 1.0), 1.0 / 3.0, 3.0)
+        # approach the target smoothly (one-RTT-ish convergence)
+        ratio = 1.0 + 0.5 * (ratio - 1.0)
+        self._cwnd = max(self._cwnd * ratio, 1.0)
+        return float(ratio)
+
+
+def collect_oracle_pool(
+    environments: Sequence[EnvConfig], include_multi_flow: bool
+) -> PolicyPool:
+    """Run the oracle through each env and record its demonstrations."""
+    pool = PolicyPool()
+    for env in environments:
+        if env.is_multi_flow and not include_multi_flow:
+            continue
+        result = run_policy(env, OracleAgent(env))
+        result.scheme = "oracle"
+        pool.add_rollout(result)
+    return pool
+
+
+def train_indigo(
+    environments: Optional[Sequence[EnvConfig]] = None,
+    multi_flow: bool = False,
+    n_steps: int = 200,
+    net_config: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> SageAgent:
+    """Train Indigo (single-flow oracle) or Indigov2 (``multi_flow=True``)."""
+    envs = (
+        list(environments)
+        if environments is not None
+        else training_environments("mini")
+    )
+    pool = collect_oracle_pool(envs, include_multi_flow=multi_flow)
+    trainer = BCTrainer(pool, net_config=net_config, seed=seed)
+    trainer.train(n_steps)
+    return trainer.agent(name="indigov2" if multi_flow else "indigo")

@@ -1,0 +1,137 @@
+"""Remy-like baseline (Winstein & Balakrishnan — SIGCOMM 2013).
+
+Remy is *computer-generated* CC by offline policy search: given a model of
+the design-range networks, an optimizer searches a table mapping a small
+discretized congestion state to control actions; the table is then frozen
+and deployed. Appendix A recalls its known weakness — performance degrades
+sharply when evaluation networks diverge from the design range, because the
+table encodes assumptions about the modeled networks.
+
+This implementation keeps all three Remy ingredients:
+
+- a compact engineered state: (rtt ratio, delivery-rate ratio, BDP/cwnd),
+  each discretized into a few buckets;
+- a rule table mapping each bucket to a cwnd ratio;
+- an offline optimizer (stochastic hill climbing) that scores candidate
+  tables by their mean reward over the *design* environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collector.environments import EnvConfig
+from repro.collector.gr_unit import STATE_FIELDS
+from repro.collector.rollout import run_policy
+
+_RTT_RATE_IDX = STATE_FIELDS.index("rtt_rate")
+_DR_RATIO_IDX = STATE_FIELDS.index("dr_ratio")
+_BDP_CWND_IDX = STATE_FIELDS.index("bdp_cwnd")
+
+#: bucket edges per feature (3 buckets each -> 27 rules)
+_RTT_EDGES = (0.98, 1.02)  # rtt shrinking / steady / growing
+_DR_EDGES = (0.95, 1.05)  # rate falling / steady / rising
+_BDP_EDGES = (0.8, 1.2)  # cwnd above BDP / matched / below BDP
+
+#: candidate actions the optimizer may place in a rule
+ACTION_CHOICES = (0.7, 0.85, 0.95, 1.0, 1.02, 1.05, 1.15, 1.4)
+
+
+def _bucket(value: float, edges: Tuple[float, float]) -> int:
+    if value < edges[0]:
+        return 0
+    if value < edges[1]:
+        return 1
+    return 2
+
+
+def state_to_rule_index(state: np.ndarray) -> int:
+    """Map a raw 69-dim GR state to one of the 27 rule-table cells."""
+    r = _bucket(float(state[_RTT_RATE_IDX]), _RTT_EDGES)
+    d = _bucket(float(state[_DR_RATIO_IDX]), _DR_EDGES)
+    b = _bucket(float(state[_BDP_CWND_IDX]), _BDP_EDGES)
+    return (r * 3 + d) * 3 + b
+
+
+@dataclass
+class RemyTable:
+    """A frozen rule table: 27 cwnd ratios."""
+
+    actions: np.ndarray = field(
+        default_factory=lambda: np.full(27, 1.02)  # mild default probing
+    )
+
+    def __post_init__(self) -> None:
+        self.actions = np.asarray(self.actions, dtype=float)
+        if self.actions.shape != (27,):
+            raise ValueError(f"rule table must have 27 entries, got {self.actions.shape}")
+
+    def lookup(self, state: np.ndarray) -> float:
+        return float(self.actions[state_to_rule_index(state)])
+
+    def mutated(self, rng: np.random.Generator, n_cells: int = 3) -> "RemyTable":
+        """A neighbour table with ``n_cells`` randomly re-assigned rules."""
+        new = self.actions.copy()
+        for idx in rng.choice(27, size=min(n_cells, 27), replace=False):
+            new[idx] = ACTION_CHOICES[int(rng.integers(len(ACTION_CHOICES)))]
+        return RemyTable(new)
+
+
+class RemyAgent:
+    """Deployable frozen rule table (PolicyAgent protocol)."""
+
+    def __init__(self, table: RemyTable, name: str = "remy") -> None:
+        self.table = table
+        self.name = name
+
+    def reset(self) -> None:  # stateless
+        pass
+
+    def act(self, state: np.ndarray) -> float:
+        return self.table.lookup(state)
+
+
+class RemyOptimizer:
+    """Offline stochastic hill climbing over rule tables.
+
+    The score of a table is the mean per-step reward of deploying it in the
+    *design* environments — exactly Remy's objective (here scored in the
+    simulator instead of Remy's analytic network model).
+    """
+
+    def __init__(
+        self,
+        design_envs: Sequence[EnvConfig],
+        seed: int = 0,
+        rollout_tick: float = 0.02,
+    ) -> None:
+        if not design_envs:
+            raise ValueError("need at least one design environment")
+        self.design_envs = list(design_envs)
+        self.rng = np.random.default_rng(seed)
+        self.rollout_tick = rollout_tick
+        self.history: List[float] = []
+
+    def score(self, table: RemyTable) -> float:
+        rewards = []
+        for env in self.design_envs:
+            result = run_policy(env, RemyAgent(table), tick=self.rollout_tick)
+            rewards.append(float(np.mean(result.rewards)))
+        return float(np.mean(rewards))
+
+    def optimize(
+        self, n_iterations: int = 10, init: Optional[RemyTable] = None
+    ) -> RemyAgent:
+        best = init if init is not None else RemyTable()
+        best_score = self.score(best)
+        self.history.append(best_score)
+        for _ in range(n_iterations):
+            candidate = best.mutated(self.rng)
+            cand_score = self.score(candidate)
+            if cand_score > best_score:
+                best, best_score = candidate, cand_score
+            self.history.append(best_score)
+        return RemyAgent(best)

@@ -1,0 +1,109 @@
+"""PCC Vivace (Dong et al., NSDI 2018) — online-learning rate control.
+
+Vivace is not a trained model: it performs *online* no-regret gradient
+ascent on a utility function of the measured sending rate::
+
+    U(x) = x^0.9 - b * x * L - c * x * max(0, d(RTT)/dt)
+
+by running paired rate probes (x(1+eps), x(1-eps)) each "monitor interval"
+and stepping toward the better-scoring direction. Registered as a regular
+CC scheme so it can enter any league.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Vivace(CongestionControl):
+    """Online utility-gradient rate control."""
+
+    name = "vivace"
+
+    EPS = 0.05  # probe amplitude
+    B_LOSS = 10.0  # loss penalty coefficient
+    C_LAT = 5.0  # latency-gradient penalty coefficient
+    STEP0 = 0.05  # initial gradient step (fraction of rate)
+
+    def __init__(self) -> None:
+        self.rate_bps = 2e6
+        self.phase = 0  # 0: probe up, 1: probe down, 2: move
+        self._phase_start = 0.0
+        self._phase_metrics = []
+        self._delivered0 = 0
+        self._lost0 = 0
+        self._rtt0 = 0.0
+        self._utilities = [0.0, 0.0]
+        self._step = self.STEP0
+        self._last_direction = 0
+
+    def _phase_rate(self) -> float:
+        if self.phase == 0:
+            return self.rate_bps * (1.0 + self.EPS)
+        if self.phase == 1:
+            return self.rate_bps * (1.0 - self.EPS)
+        return self.rate_bps
+
+    def _utility(self, sock, interval: float) -> float:
+        delivered = (sock.delivered - self._delivered0) * MSS_BYTES * 8.0 / interval
+        lost = (sock.lost - self._lost0) * MSS_BYTES * 8.0 / interval
+        x = delivered / 1e6  # Mbps
+        loss_rate = lost / max(delivered + lost, 1e3)
+        rtt_grad = (sock.srtt_or_min - self._rtt0) / interval if self._rtt0 > 0 else 0.0
+        return (
+            max(x, 1e-6) ** 0.9
+            - self.B_LOSS * x * loss_rate
+            - self.C_LAT * x * max(rtt_grad, 0.0)
+        )
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        mi = max(sock.srtt_or_min, 0.02)  # one monitor interval ~ RTT
+        if self._phase_start == 0.0:
+            self._phase_start = now
+            self._snapshot(sock)
+            return
+        if now - self._phase_start < mi:
+            return
+        interval = now - self._phase_start
+        if self.phase in (0, 1):
+            self._utilities[self.phase] = self._utility(sock, interval)
+            self.phase += 1
+        else:
+            # move phase done: compute gradient step for the next round
+            up, down = self._utilities
+            grad = (up - down) / (2.0 * self.EPS * max(self.rate_bps / 1e6, 1e-3))
+            direction = 1 if grad > 0 else -1
+            if direction == self._last_direction:
+                self._step = min(self._step * 1.5, 0.3)  # confidence amplification
+            else:
+                self._step = self.STEP0
+            self._last_direction = direction
+            self.rate_bps *= 1.0 + direction * self._step
+            self.rate_bps = min(max(self.rate_bps, 1e5), 1e9)
+            self.phase = 0
+        self._phase_start = now
+        self._snapshot(sock)
+
+    def _snapshot(self, sock) -> None:
+        self._delivered0 = sock.delivered
+        self._lost0 = sock.lost
+        self._rtt0 = sock.srtt_or_min
+
+    def pacing_rate(self, sock):
+        return self._phase_rate()
+
+    def on_loss_event(self, sock, now: float) -> None:
+        # Vivace reacts to loss only through the utility; keep cwnd generous
+        # so pacing stays the binding control.
+        sock.ssthresh = max(sock.cwnd * 0.9, self.MIN_CWND)
+        sock.cwnd = max(sock.cwnd * 0.9, self.MIN_CWND)
+
+    def on_rto(self, sock, now: float) -> None:
+        self.rate_bps = max(self.rate_bps * 0.5, 1e5)
+        sock.cwnd = max(sock.cwnd * 0.5, self.MIN_CWND)
+
+    def on_init(self, sock) -> None:
+        # window stays slack; the pacing rate is the real controller
+        sock.cwnd = 100.0

@@ -1,0 +1,162 @@
+"""Command-line interface: the three Sage phases plus the league runner.
+
+Usage::
+
+    python -m repro collect --scale mini --out pool.npz
+    python -m repro train   --pool pool.npz --steps 300 --out sage.npz
+    python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz]
+    python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
+
+Each subcommand wraps the same public API the examples use; nothing here is
+load-bearing beyond argument parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_collect(args) -> int:
+    from repro.collector.environments import training_environments
+    from repro.core.training import collect_pool
+
+    schemes = args.schemes.split(",") if args.schemes else None
+    pool = collect_pool(
+        training_environments(args.scale),
+        schemes=schemes,
+        progress=(lambda msg: print(msg)) if args.verbose else None,
+    )
+    pool.save(args.out)
+    print(pool.summary())
+    print(f"saved pool to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.collector.pool import PolicyPool
+    from repro.core.crr import CRRConfig
+    from repro.core.networks import NetworkConfig
+    from repro.core.training import train_sage_on_pool
+
+    pool = PolicyPool.load(args.pool)
+    net = NetworkConfig(
+        enc_dim=args.enc_dim, gru_dim=args.gru_dim,
+        n_components=args.components, n_atoms=args.atoms,
+    )
+    run = train_sage_on_pool(
+        pool, n_steps=args.steps, n_checkpoints=args.checkpoints,
+        net_config=net, crr_config=CRRConfig(), seed=args.seed,
+        log_every=args.log_every,
+    )
+    run.agent.save(args.out)
+    print(f"trained {run.trainer.steps_done} steps; saved policy to {args.out}")
+    return 0
+
+
+def _load_agent(path: str, enc_dim: int, gru_dim: int, components: int, atoms: int):
+    from repro.core.agent import SageAgent
+    from repro.core.networks import NetworkConfig
+
+    cfg = NetworkConfig(
+        enc_dim=enc_dim, gru_dim=gru_dim, n_components=components, n_atoms=atoms
+    )
+    return SageAgent.load(path, net_config=cfg)
+
+
+def _cmd_league(args) -> int:
+    from repro.evalx.leagues import Participant, run_league
+
+    participants = [
+        Participant.from_scheme(s) for s in args.schemes.split(",") if s
+    ]
+    if args.agent:
+        agent = _load_agent(
+            args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+        )
+        participants.append(Participant.from_agent(agent))
+    result = run_league(participants)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_deploy(args) -> int:
+    from repro.collector.environments import EnvConfig
+    from repro.collector.rollout import run_policy
+
+    agent = _load_agent(
+        args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+    )
+    env = EnvConfig(
+        env_id="cli-deploy", kind="flat", bw_mbps=args.bw, min_rtt=args.rtt,
+        buffer_bdp=args.buffer, n_competing_cubic=args.cubics,
+        duration=args.duration,
+    )
+    result = run_policy(env, agent)
+    s = result.stats
+    print(
+        f"throughput={s.avg_throughput_bps / 1e6:.2f} Mbps  "
+        f"owd={s.avg_owd * 1e3:.1f} ms  loss={s.loss_rate:.4f}  "
+        f"mean-reward={float(np.mean(result.rewards)):.3f}"
+    )
+    return 0
+
+
+def _add_net_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--enc-dim", type=int, default=64, dest="enc_dim")
+    p.add_argument("--gru-dim", type=int, default=64, dest="gru_dim")
+    p.add_argument("--components", type=int, default=3)
+    p.add_argument("--atoms", type=int, default=21)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="collect the pool of policies")
+    p.add_argument("--scale", choices=("mini", "small", "full"), default="mini")
+    p.add_argument("--schemes", default="", help="comma-separated subset")
+    p.add_argument("--out", default="pool.npz")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser("train", help="train Sage offline on a saved pool")
+    p.add_argument("--pool", required=True)
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--checkpoints", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--log-every", type=int, default=0, dest="log_every")
+    p.add_argument("--out", default="sage.npz")
+    _add_net_args(p)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("league", help="rank schemes (and optionally an agent)")
+    p.add_argument("--schemes", default="cubic,vegas,bbr2,newreno")
+    p.add_argument("--agent", default="")
+    _add_net_args(p)
+    p.set_defaults(func=_cmd_league)
+
+    p = sub.add_parser("deploy", help="run a trained agent in one environment")
+    p.add_argument("--agent", required=True)
+    p.add_argument("--bw", type=float, default=24.0)
+    p.add_argument("--rtt", type=float, default=0.04)
+    p.add_argument("--buffer", type=float, default=2.0)
+    p.add_argument("--cubics", type=int, default=0)
+    p.add_argument("--duration", type=float, default=10.0)
+    _add_net_args(p)
+    p.set_defaults(func=_cmd_deploy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Sage's Policy Collector (Section 4.1 of the paper).
+
+Turns runs of arbitrary kernel CC schemes over emulated networks into
+generalized ``{state, action, reward}`` trajectories:
+
+- :mod:`~repro.collector.gr_unit` — the General Representation unit: the
+  69-element state vector of Table 1 computed over three observation
+  windows, and the cwnd-ratio output representation.
+- :mod:`~repro.collector.rewards` — the two reward functions: the power-style
+  single-flow reward R1 (Eq. 1) and the TCP-friendliness reward R2 (Eq. 2).
+- :mod:`~repro.collector.environments` — Set I (flat + step single-flow) and
+  Set II (vs-Cubic) environment grids, plus the env → simulator builder.
+- :mod:`~repro.collector.rollout` — runs a scheme (or a learned policy) in an
+  environment and records the trajectory.
+- :mod:`~repro.collector.pool` — the pool of policies: a dataset of
+  trajectories with save/load and batch-sampling utilities.
+"""
+
+from repro.collector.gr_unit import (
+    GRUnit,
+    STATE_DIM,
+    STATE_FIELDS,
+    WindowConfig,
+    normalize_state,
+)
+from repro.collector.rewards import (
+    single_flow_reward,
+    friendliness_reward,
+    RewardConfig,
+)
+from repro.collector.environments import (
+    EnvConfig,
+    build_network,
+    set1_environments,
+    set2_environments,
+    training_environments,
+)
+from repro.collector.rollout import RolloutResult, collect_trajectory, run_policy
+from repro.collector.pool import PolicyPool, Trajectory
+
+__all__ = [
+    "GRUnit",
+    "STATE_DIM",
+    "STATE_FIELDS",
+    "WindowConfig",
+    "normalize_state",
+    "single_flow_reward",
+    "friendliness_reward",
+    "RewardConfig",
+    "EnvConfig",
+    "build_network",
+    "set1_environments",
+    "set2_environments",
+    "training_environments",
+    "RolloutResult",
+    "collect_trajectory",
+    "run_policy",
+    "PolicyPool",
+    "Trajectory",
+]

@@ -1,0 +1,229 @@
+"""Network environments: Set I, Set II, and the env → simulator builder.
+
+Appendix C of the paper defines the two environment sets:
+
+- **Set I** (single-flow): *flat* scenarios with constant capacity drawn
+  from [12, 192] Mbps, minRTT from [10, 160] ms, and buffer from
+  [0.5, 16] x BDP; plus *step* scenarios where the capacity is multiplied by
+  m in (0.25, 0.5, 2, 4) mid-experiment (capped below 200 Mbps).
+- **Set II** (TCP-friendliness): the scheme under test shares the bottleneck
+  with a TCP Cubic flow that starts first; buffers span [1, 16] x BDP.
+
+The paper covers >1000 environments; the grids here are parameterized so a
+laptop-scale reproduction uses a subsampled grid while the full grid remains
+one argument away.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netsim.aqm import make_aqm
+from repro.netsim.engine import EventLoop
+from repro.netsim.network import Network
+from repro.netsim.traces import (
+    FlatRate,
+    RateProcess,
+    StepRate,
+    cellular_trace,
+    internet_path_rate,
+)
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """One network environment (one cell of the paper's evaluation grids)."""
+
+    env_id: str
+    kind: str  # "flat" | "step" | "cellular" | "internet"
+    bw_mbps: float  # (initial) bottleneck capacity
+    min_rtt: float  # propagation RTT, seconds
+    buffer_bdp: float  # bottleneck buffer in multiples of the BDP
+    step_m: float = 1.0  # capacity multiplier for step scenarios
+    step_at: float = 0.0  # switch time for step scenarios
+    n_competing_cubic: int = 0  # Set II: competing Cubic flows
+    competitor_head_start: float = 2.0  # seconds Cubic runs alone first
+    duration: float = 20.0
+    aqm: str = "taildrop"
+    trace_seed: int = 0
+    #: optional ECN step-marking threshold, as a fraction of the BDP
+    #: (taildrop only); enables DCTCP-style experiments.
+    ecn_threshold_bdp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bw_mbps <= 0 or self.min_rtt <= 0 or self.buffer_bdp <= 0:
+            raise ValueError(f"invalid environment parameters: {self}")
+        if self.kind not in ("flat", "step", "cellular", "internet"):
+            raise ValueError(f"unknown environment kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def bdp_bytes(self) -> float:
+        return self.bw_mbps * 1e6 * self.min_rtt / 8.0
+
+    @property
+    def buffer_bytes(self) -> int:
+        return max(int(self.buffer_bdp * self.bdp_bytes), 3 * 1500)
+
+    @property
+    def is_multi_flow(self) -> bool:
+        return self.n_competing_cubic > 0
+
+    def rate_process(self) -> RateProcess:
+        if self.kind == "flat":
+            return FlatRate(self.bw_mbps * 1e6)
+        if self.kind == "step":
+            return StepRate(self.bw_mbps * 1e6, self.step_m, self.step_at)
+        if self.kind == "cellular":
+            return cellular_trace(
+                self.trace_seed, duration=self.duration, mean_mbps=self.bw_mbps
+            )
+        return internet_path_rate(
+            self.trace_seed, self.bw_mbps, duration=self.duration
+        )
+
+    def mean_capacity_bps(self) -> float:
+        return self.rate_process().mean_rate(self.duration)
+
+    def fair_share_bps(self, n_flows: int) -> float:
+        """Ideal per-flow fair share with ``n_flows`` total flows."""
+        if n_flows <= 0:
+            raise ValueError("need at least one flow")
+        return self.mean_capacity_bps() / n_flows
+
+
+def build_network(env: EnvConfig) -> Tuple[EventLoop, Network]:
+    """Instantiate the simulator for one environment."""
+    loop = EventLoop()
+    if env.ecn_threshold_bdp > 0:
+        if env.aqm.lower() not in ("taildrop", "tdrop"):
+            raise ValueError("ECN marking is only supported on taildrop queues")
+        threshold = max(int(env.ecn_threshold_bdp * env.bdp_bytes), 1500)
+        aqm = make_aqm(env.aqm, env.buffer_bytes, ecn_threshold_bytes=threshold)
+    else:
+        aqm = make_aqm(env.aqm, env.buffer_bytes)
+    network = Network(loop, env.rate_process(), aqm)
+    return loop, network
+
+
+# --------------------------------------------------------------------------
+# Environment grids
+# --------------------------------------------------------------------------
+
+#: Appendix C parameter ranges (values chosen inside the paper's ranges;
+#: rates above ~100 Mbps are omitted from the default grid purely for
+#: simulation speed — the ranges themselves are arguments below).
+_DEFAULT_BWS = (12.0, 24.0, 48.0, 96.0)
+_DEFAULT_RTTS = (0.010, 0.040, 0.160)
+_DEFAULT_BUFS_SET1 = (0.5, 2.0, 8.0)
+_DEFAULT_BUFS_SET2 = (1.0, 4.0, 16.0)
+_STEP_MS = (0.25, 0.5, 2.0, 4.0)
+
+
+def set1_environments(
+    bws: Tuple[float, ...] = _DEFAULT_BWS,
+    rtts: Tuple[float, ...] = _DEFAULT_RTTS,
+    buffers: Tuple[float, ...] = _DEFAULT_BUFS_SET1,
+    step_ms: Tuple[float, ...] = _STEP_MS,
+    duration: float = 20.0,
+    include_steps: bool = True,
+) -> List[EnvConfig]:
+    """Set I: single-flow flat + step scenarios (Appendix C.1)."""
+    envs: List[EnvConfig] = []
+    for bw, rtt, buf in itertools.product(bws, rtts, buffers):
+        envs.append(
+            EnvConfig(
+                env_id=f"set1-flat-bw{bw:g}-rtt{rtt * 1000:g}-q{buf:g}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buf,
+                duration=duration,
+            )
+        )
+    if include_steps:
+        for bw, rtt, m in itertools.product(bws, rtts, step_ms):
+            if bw * m >= 200.0:  # the paper keeps step targets under 200 Mbps
+                continue
+            envs.append(
+                EnvConfig(
+                    env_id=f"set1-step-bw{bw:g}-m{m:g}-rtt{rtt * 1000:g}",
+                    kind="step",
+                    bw_mbps=bw,
+                    min_rtt=rtt,
+                    buffer_bdp=2.0,
+                    step_m=m,
+                    step_at=duration / 2.0,
+                    duration=duration,
+                )
+            )
+    return envs
+
+
+def set2_environments(
+    bws: Tuple[float, ...] = _DEFAULT_BWS,
+    rtts: Tuple[float, ...] = _DEFAULT_RTTS,
+    buffers: Tuple[float, ...] = _DEFAULT_BUFS_SET2,
+    duration: float = 30.0,
+) -> List[EnvConfig]:
+    """Set II: the scheme under test vs a head-start TCP Cubic flow."""
+    envs: List[EnvConfig] = []
+    for bw, rtt, buf in itertools.product(bws, rtts, buffers):
+        envs.append(
+            EnvConfig(
+                env_id=f"set2-bw{bw:g}-rtt{rtt * 1000:g}-q{buf:g}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buf,
+                n_competing_cubic=1,
+                duration=duration,
+            )
+        )
+    return envs
+
+
+def training_environments(scale: str = "mini") -> List[EnvConfig]:
+    """The pool-collection grid at three sizes.
+
+    ``mini``  — a handful of envs, for tests (seconds).
+    ``small`` — the default bench grid (minutes).
+    ``full``  — the paper-faithful dense grid (hours on one core).
+    """
+    if scale == "mini":
+        return (
+            set1_environments(
+                bws=(24.0,), rtts=(0.04,), buffers=(2.0,),
+                step_ms=(0.5, 2.0), duration=10.0,
+            )
+            + set2_environments(
+                bws=(24.0,), rtts=(0.04,), buffers=(2.0,), duration=12.0
+            )
+        )
+    if scale == "small":
+        return (
+            set1_environments(
+                bws=(12.0, 24.0, 48.0), rtts=(0.02, 0.06), buffers=(1.0, 4.0),
+                step_ms=(0.5, 2.0), duration=15.0,
+            )
+            + set2_environments(
+                bws=(12.0, 24.0, 48.0), rtts=(0.02, 0.06), buffers=(2.0, 8.0),
+                duration=20.0,
+            )
+        )
+    if scale == "full":
+        bws = (12.0, 24.0, 48.0, 96.0, 192.0)
+        rtts = (0.010, 0.020, 0.040, 0.080, 0.160)
+        return (
+            set1_environments(
+                bws=bws, rtts=rtts, buffers=(0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+                duration=30.0,
+            )
+            + set2_environments(
+                bws=bws, rtts=rtts, buffers=(1.0, 2.0, 4.0, 8.0, 16.0),
+                duration=60.0,
+            )
+        )
+    raise ValueError(f"unknown scale {scale!r}; use mini/small/full")

@@ -1,0 +1,265 @@
+"""The General Representation (GR) unit.
+
+The GR unit treats every CC scheme as a black box: it periodically samples
+*raw* transport-layer signals (delay-, throughput-, and loss-oriented) from
+the sender socket, computes avg/min/max statistics over three observation
+windows (Small / Medium / Large), and represents the scheme's output as the
+congestion-window ratio ``a_t = cwnd_t / cwnd_{t-1}``.
+
+The resulting 69-element state vector follows Table 1 of the paper exactly;
+:data:`STATE_FIELDS` lists the elements in order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+import numpy as np
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.socket import TcpSender
+
+
+@dataclass
+class WindowConfig:
+    """Observation-window lengths, in GR ticks (Section 7.4).
+
+    The paper's ablation rebuilds pools with a single window of 10 / 200 /
+    1000 ticks (Sage-s / Sage-m / Sage-l); default Sage uses all three.
+    """
+
+    small: int = 10
+    medium: int = 200
+    large: int = 1000
+
+    def __post_init__(self) -> None:
+        if not (0 < self.small <= self.medium <= self.large):
+            raise ValueError(
+                f"windows must satisfy 0 < small <= medium <= large, got "
+                f"{self.small}/{self.medium}/{self.large}"
+            )
+
+
+def _field_block(prefix: str) -> List[str]:
+    return [
+        f"{prefix}_{w}.{s}"
+        for w in ("s", "m", "l")
+        for s in ("avg", "min", "max")
+    ]
+
+
+#: The 69 input statistics, in Table-1 order.
+STATE_FIELDS: List[str] = (
+    ["srtt", "rttvar", "thr", "ca_state"]
+    + _field_block("rtt")
+    + _field_block("thr")
+    + _field_block("rtt_rate")
+    + _field_block("rtt_var")
+    + _field_block("inflight")
+    + _field_block("lost")
+    + [
+        "time_delta",
+        "rtt_rate",
+        "loss_db",
+        "acked_rate",
+        "dr_ratio",
+        "bdp_cwnd",
+        "dr",
+        "cwnd_unacked_rate",
+        "dr_max",
+        "dr_max_ratio",
+        "pre_act",
+    ]
+)
+
+STATE_DIM = len(STATE_FIELDS)
+assert STATE_DIM == 69, f"Table 1 defines 69 inputs, got {STATE_DIM}"
+
+#: Index ranges used by the Fig. 12 input ablations.
+MINMAX_INDICES = [
+    i for i, f in enumerate(STATE_FIELDS) if f.endswith(".min") or f.endswith(".max")
+]
+RTTVAR_RATE_INDICES = [  # "rows 23-40": rtt_rate_* and rtt_var_* blocks
+    i
+    for i, f in enumerate(STATE_FIELDS)
+    if f.startswith("rtt_rate_") or f.startswith("rtt_var_")
+]
+LOSS_INFLIGHT_INDICES = [  # "rows 41-58": inflight_* and lost_* blocks
+    i
+    for i, f in enumerate(STATE_FIELDS)
+    if f.startswith("inflight_") or f.startswith("lost_")
+]
+
+
+def _stats(window: Deque[float]) -> List[float]:
+    if not window:
+        return [0.0, 0.0, 0.0]
+    mn, mx, total = float("inf"), float("-inf"), 0.0
+    for v in window:
+        if v < mn:
+            mn = v
+        if v > mx:
+            mx = v
+        total += v
+    return [total / len(window), mn, mx]
+
+
+class GRUnit:
+    """Samples one sender socket into Table-1 state vectors and actions.
+
+    Call :meth:`tick` once per control interval; it returns the current
+    69-dim state (raw units) and the action ``cwnd_t / cwnd_{t-1}``.
+    """
+
+    def __init__(self, sender: TcpSender, windows: WindowConfig = None) -> None:
+        self.sender = sender
+        self.windows = windows if windows is not None else WindowConfig()
+        w = self.windows
+        self._rtt: Deque[float] = deque(maxlen=w.large)
+        self._thr: Deque[float] = deque(maxlen=w.large)
+        self._rtt_rate: Deque[float] = deque(maxlen=w.large)
+        self._rtt_var: Deque[float] = deque(maxlen=w.large)
+        self._inflight: Deque[float] = deque(maxlen=w.large)
+        self._lost: Deque[float] = deque(maxlen=w.large)
+        self._last_tick_time = None
+        self._last_cwnd = max(sender.cwnd, 1.0)
+        self._last_rtt = 0.0
+        self._last_dr = 0.0
+        self._last_dr_max = 0.0
+        self._last_lost_bytes = 0
+        self._last_delivered = 0
+        self._last_action = 1.0
+
+    # ------------------------------------------------------------------
+    def _window_view(self, dq: Deque[float], n: int) -> Deque[float]:
+        if len(dq) <= n:
+            return dq
+        return deque(list(dq)[-n:])
+
+    def _blocks(self, dq: Deque[float]) -> List[float]:
+        w = self.windows
+        out: List[float] = []
+        for n in (w.small, w.medium, w.large):
+            out.extend(_stats(self._window_view(dq, n)))
+        return out
+
+    # ------------------------------------------------------------------
+    def tick(self) -> tuple:
+        """Sample the socket; returns ``(state_vector, action)``.
+
+        The action is the cwnd ratio *since the previous tick* — i.e. what
+        the underlying scheme did during the last interval, which is exactly
+        the paper's generalized output representation.
+        """
+        s = self.sender
+        now = s.loop.now
+
+        srtt = s.srtt_or_min
+        rttvar = s.rttvar
+        thr = s.delivery_rate
+        min_rtt = s.min_rtt if s.min_rtt != float("inf") else srtt
+
+        rtt_rate = srtt / self._last_rtt if self._last_rtt > 0 else 1.0
+        new_lost_bytes = s.lost_bytes - self._last_lost_bytes
+        new_delivered = s.delivered - self._last_delivered
+        time_delta_raw = (
+            now - self._last_tick_time if self._last_tick_time is not None else 0.0
+        )
+        time_delta = time_delta_raw / max(min_rtt, 1e-3)
+        loss_db = new_lost_bytes / max(time_delta_raw, 1e-6) if time_delta_raw else 0.0
+        acked_rate = (
+            new_delivered / max(time_delta_raw, 1e-6) if time_delta_raw else 0.0
+        )
+        dr = s.delivery_rate
+        dr_ratio = dr / self._last_dr if self._last_dr > 0 else 1.0
+        dr_max = s.max_delivery_rate
+        dr_max_ratio = dr_max / self._last_dr_max if self._last_dr_max > 0 else 1.0
+        bdp_pkts = (
+            dr * max(min_rtt, 1e-4) / (8.0 * MSS_BYTES) if dr > 0 else 0.0
+        )
+        bdp_cwnd = bdp_pkts / max(s.cwnd, 1.0)
+        cwnd_unacked_rate = s.inflight / max(s.sent_packets, 1)
+
+        # -- push per-tick raw samples into the windows --
+        self._rtt.append(srtt)
+        self._thr.append(thr)
+        self._rtt_rate.append(rtt_rate)
+        self._rtt_var.append(rttvar)
+        self._inflight.append(float(s.inflight_bytes))
+        self._lost.append(float(new_lost_bytes))
+
+        state = np.array(
+            [srtt, rttvar, thr, float(s.ca_state)]
+            + self._blocks(self._rtt)
+            + self._blocks(self._thr)
+            + self._blocks(self._rtt_rate)
+            + self._blocks(self._rtt_var)
+            + self._blocks(self._inflight)
+            + self._blocks(self._lost)
+            + [
+                time_delta,
+                rtt_rate,
+                loss_db,
+                acked_rate,
+                dr_ratio,
+                bdp_cwnd,
+                dr,
+                cwnd_unacked_rate,
+                dr_max,
+                dr_max_ratio,
+                self._last_action,
+            ],
+            dtype=np.float64,
+        )
+
+        # -- output representation: cwnd ratio over the last interval --
+        cwnd_now = max(s.cwnd, 1.0)
+        action = cwnd_now / self._last_cwnd
+        action = float(np.clip(action, 1.0 / 3.0, 3.0))
+
+        self._last_cwnd = cwnd_now
+        self._last_rtt = srtt if srtt > 0 else self._last_rtt
+        self._last_dr = dr if dr > 0 else self._last_dr
+        self._last_dr_max = dr_max if dr_max > 0 else self._last_dr_max
+        self._last_lost_bytes = s.lost_bytes
+        self._last_delivered = s.delivered
+        self._last_tick_time = now
+        self._last_action = action
+        return state, action
+
+
+# --------------------------------------------------------------------------
+# Normalization: the network trains on dimensionless inputs. The scales are
+# fixed constants (not data statistics) so a deployed model needs no
+# dataset-side bookkeeping.
+# --------------------------------------------------------------------------
+_TIME_SCALE = 0.1  # seconds  -> srtt of 100 ms maps to 1.0
+_RATE_SCALE = 48e6  # bits/s  -> 48 Mbps maps to 1.0
+_BYTES_SCALE = 48e6 * 0.1 / 8  # one 100 ms BDP at 48 Mbps
+_COUNT_RATE_SCALE = 4000.0  # packets/s
+
+
+def _scales() -> np.ndarray:
+    scale = np.ones(STATE_DIM)
+    for i, f in enumerate(STATE_FIELDS):
+        if f.startswith(("srtt", "rttvar", "rtt_s", "rtt_m", "rtt_l", "rtt_var")):
+            scale[i] = _TIME_SCALE
+        elif f.startswith(("thr", "dr", "loss_db")) and "ratio" not in f:
+            scale[i] = _RATE_SCALE
+        elif f.startswith(("inflight", "lost")):
+            scale[i] = _BYTES_SCALE
+        elif f == "acked_rate":
+            scale[i] = _COUNT_RATE_SCALE
+        # ratios, ca_state, time_delta, pre_act stay at 1.0
+    return scale
+
+
+_STATE_SCALES = _scales()
+
+
+def normalize_state(state: np.ndarray) -> np.ndarray:
+    """Scale a raw Table-1 state vector (or batch) to O(1) magnitudes."""
+    out = np.asarray(state, dtype=np.float64) / _STATE_SCALES
+    return np.clip(out, -10.0, 10.0)

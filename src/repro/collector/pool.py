@@ -1,0 +1,180 @@
+"""The pool of policies: Sage's offline dataset.
+
+The pool stores trajectories ``(states, actions, rewards)`` labeled with the
+scheme and environment that produced them. It supports:
+
+- building from rollouts (:meth:`PolicyPool.add`);
+- persistence as a single ``.npz`` (:meth:`save` / :meth:`load`) — data is
+  collected *once*, then every environment is "unplugged";
+- batch sampling of fixed-length sequence windows for the recurrent CRR
+  learner (:meth:`sample_sequences`);
+- filtering by scheme (Sage-Top / Sage-Top4 pool-diversity ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Trajectory:
+    """One scheme x environment trajectory."""
+
+    scheme: str
+    env_id: str
+    multi_flow: bool
+    states: np.ndarray  # (T, state_dim)
+    actions: np.ndarray  # (T,)
+    rewards: np.ndarray  # (T,)
+
+    def __post_init__(self) -> None:
+        t = len(self.actions)
+        if self.states.shape[0] != t or self.rewards.shape[0] != t:
+            raise ValueError("states/actions/rewards length mismatch")
+
+    @property
+    def length(self) -> int:
+        return len(self.actions)
+
+
+class PolicyPool:
+    """A collection of trajectories from many schemes in many environments."""
+
+    def __init__(self, trajectories: Optional[List[Trajectory]] = None) -> None:
+        self.trajectories: List[Trajectory] = list(trajectories or [])
+
+    # ------------------------------------------------------------------
+    def add(self, traj: Trajectory) -> None:
+        self.trajectories.append(traj)
+
+    def add_rollout(self, rollout) -> None:
+        """Append a :class:`~repro.collector.rollout.RolloutResult`."""
+        self.add(
+            Trajectory(
+                scheme=rollout.scheme,
+                env_id=rollout.env.env_id,
+                multi_flow=rollout.env.is_multi_flow,
+                states=rollout.states,
+                actions=rollout.actions,
+                rewards=rollout.rewards,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def n_transitions(self) -> int:
+        return sum(t.length for t in self.trajectories)
+
+    def schemes(self) -> List[str]:
+        return sorted({t.scheme for t in self.trajectories})
+
+    def env_ids(self) -> List[str]:
+        return sorted({t.env_id for t in self.trajectories})
+
+    # ------------------------------------------------------------------
+    def filter_schemes(self, keep: Iterable[str]) -> "PolicyPool":
+        """A sub-pool containing only the given schemes (diversity ablation)."""
+        keep_set = set(keep)
+        return PolicyPool([t for t in self.trajectories if t.scheme in keep_set])
+
+    def filter_env(self, predicate) -> "PolicyPool":
+        """A sub-pool of trajectories whose env_id satisfies ``predicate``."""
+        return PolicyPool([t for t in self.trajectories if predicate(t.env_id)])
+
+    # ------------------------------------------------------------------
+    def sample_sequences(
+        self,
+        batch_size: int,
+        seq_len: int,
+        rng: np.random.Generator,
+        normalize=None,
+    ) -> Dict[str, np.ndarray]:
+        """Sample ``batch_size`` windows of ``seq_len + 1`` consecutive steps.
+
+        Returns arrays shaped for the recurrent learner:
+        ``states (B, L, D)``, ``actions (B, L)``, ``rewards (B, L)``,
+        ``next_states (B, L, D)``. Trajectories shorter than ``seq_len + 1``
+        are skipped.
+        """
+        eligible = [t for t in self.trajectories if t.length > seq_len]
+        if not eligible:
+            raise ValueError(
+                f"no trajectory longer than seq_len+1={seq_len + 1} in the pool"
+            )
+        lengths = np.array([t.length - seq_len for t in eligible], dtype=float)
+        probs = lengths / lengths.sum()
+        idx = rng.choice(len(eligible), size=batch_size, p=probs)
+        states, actions, rewards, next_states = [], [], [], []
+        for i in idx:
+            traj = eligible[i]
+            start = rng.integers(0, traj.length - seq_len)
+            s = traj.states[start : start + seq_len + 1]
+            if normalize is not None:
+                s = normalize(s)
+            states.append(s[:-1])
+            next_states.append(s[1:])
+            actions.append(traj.actions[start : start + seq_len])
+            rewards.append(traj.rewards[start : start + seq_len])
+        return {
+            "states": np.stack(states),
+            "actions": np.stack(actions),
+            "rewards": np.stack(rewards),
+            "next_states": np.stack(next_states),
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the pool as one compressed ``.npz``."""
+        path = Path(path)
+        payload: Dict[str, np.ndarray] = {
+            "n": np.array([len(self.trajectories)]),
+        }
+        meta = []
+        for i, t in enumerate(self.trajectories):
+            payload[f"s{i}"] = t.states
+            payload[f"a{i}"] = t.actions
+            payload[f"r{i}"] = t.rewards
+            meta.append(f"{t.scheme}|{t.env_id}|{int(t.multi_flow)}")
+        payload["meta"] = np.array(meta)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path) -> "PolicyPool":
+        with np.load(Path(path), allow_pickle=False) as data:
+            n = int(data["n"][0])
+            meta = [str(m) for m in data["meta"]]
+            trajectories = []
+            for i in range(n):
+                scheme, env_id, multi = meta[i].split("|")
+                trajectories.append(
+                    Trajectory(
+                        scheme=scheme,
+                        env_id=env_id,
+                        multi_flow=bool(int(multi)),
+                        states=data[f"s{i}"],
+                        actions=data[f"a{i}"],
+                        rewards=data[f"r{i}"],
+                    )
+                )
+        return cls(trajectories)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable pool inventory."""
+        lines = [
+            f"PolicyPool: {len(self)} trajectories, "
+            f"{self.n_transitions} transitions"
+        ]
+        by_scheme: Dict[str, int] = {}
+        for t in self.trajectories:
+            by_scheme[t.scheme] = by_scheme.get(t.scheme, 0) + t.length
+        for scheme in sorted(by_scheme):
+            lines.append(f"  {scheme:12s} {by_scheme[scheme]:8d} transitions")
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Sage's two reward functions (Section 4.1, Eqs. 1 and 2).
+
+``R1`` (single-flow, myopic): a Power-style reward rewarding high delivery
+rate, low loss, and low delay::
+
+    R1_t = (r_t - xi * l_t)^kappa / d_t
+
+``R2`` (multi-flow, farsighted): TCP-friendliness as a Gaussian bump around
+the ideal fair share (Fig. 5)::
+
+    R2_t = exp(-8 * (x_t - 1)^2),   x_t = r_t / fr_t
+
+Both are computed on *normalized* quantities so that rewards from different
+environments are comparable inside one training pool: rates are normalized
+by the link capacity and delay by the propagation RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+
+@dataclass
+class RewardConfig:
+    """Coefficients of Eq. 1 and Eq. 2."""
+
+    xi: float = 1.0  # impact of the loss rate in R1
+    kappa: float = 1.0  # throughput-vs-delay importance in R1
+    friendliness_sharpness: float = 8.0  # the "-8" exponent factor of Eq. 2
+
+    def __post_init__(self) -> None:
+        if self.xi < 0 or self.kappa <= 0 or self.friendliness_sharpness <= 0:
+            raise ValueError("reward coefficients must be positive")
+
+
+DEFAULT_REWARDS = RewardConfig()
+
+
+def single_flow_reward(
+    delivery_rate_bps: float,
+    loss_rate_bps: float,
+    avg_delay: float,
+    link_capacity_bps: float,
+    min_rtt: float,
+    config: RewardConfig = DEFAULT_REWARDS,
+) -> float:
+    """Eq. 1: the Power-style reward for single-flow scenarios.
+
+    Parameters are raw measurements over the last timestep; the link
+    capacity and propagation RTT normalize them into dimensionless form.
+    Returns a value in roughly [0, 1].
+    """
+    if link_capacity_bps <= 0 or min_rtt <= 0:
+        raise ValueError("capacity and min_rtt must be positive")
+    r = min(delivery_rate_bps / link_capacity_bps, 2.0)
+    l = min(loss_rate_bps / link_capacity_bps, 2.0)
+    d = max(avg_delay / min_rtt, 1.0)
+    util = max(r - config.xi * l, 0.0)
+    return (util ** config.kappa) / d
+
+
+def friendliness_reward(
+    delivery_rate_bps: float,
+    fair_share_bps: float,
+    config: RewardConfig = DEFAULT_REWARDS,
+) -> float:
+    """Eq. 2: the TCP-friendliness reward (Fig. 5).
+
+    Peaks at 1.0 when the flow holds exactly its fair share, and decays
+    symmetrically whether the flow is starving or bullying its competitor.
+    """
+    if fair_share_bps <= 0:
+        raise ValueError("fair share must be positive")
+    x = delivery_rate_bps / fair_share_bps
+    return math.exp(-config.friendliness_sharpness * (x - 1.0) ** 2)

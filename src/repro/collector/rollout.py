@@ -1,0 +1,190 @@
+"""Rollout runners: record a scheme's trajectory, or drive a learned policy.
+
+Two entry points:
+
+- :func:`collect_trajectory` — the Policy Collector path: run a kernel CC
+  scheme in an environment while the GR unit records
+  ``{state, action, reward}`` at every tick.
+- :func:`run_policy` — the Execution-block path: at every tick, feed the GR
+  state to a learned agent and enforce its cwnd-ratio action through
+  :meth:`~repro.tcp.socket.TcpSender.set_cwnd`.
+
+Both return a :class:`RolloutResult` carrying the trajectory arrays plus the
+flow-level statistics the evaluation framework scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.collector.environments import EnvConfig, build_network
+from repro.collector.gr_unit import GRUnit, WindowConfig
+from repro.collector.rewards import (
+    RewardConfig,
+    DEFAULT_REWARDS,
+    friendliness_reward,
+    single_flow_reward,
+)
+from repro.tcp.flow import Flow, FlowStats
+
+#: GR tick interval, seconds ("Sage's logic performs periodically in small
+#: time intervals" — 20 ms matches the paper's lineage, Orca's epochs).
+TICK = 0.02
+
+
+class PolicyAgent(Protocol):
+    """What :func:`run_policy` needs from a learned agent."""
+
+    def reset(self) -> None:
+        """Clear recurrent state before a fresh rollout."""
+
+    def act(self, state: np.ndarray) -> float:
+        """Map a raw 69-dim GR state to a cwnd ratio."""
+
+
+@dataclass
+class RolloutResult:
+    """One recorded trajectory plus the flow-level outcome."""
+
+    env: EnvConfig
+    scheme: str
+    states: np.ndarray  # (T, 69) raw Table-1 vectors
+    actions: np.ndarray  # (T,) cwnd ratios
+    rewards: np.ndarray  # (T,)
+    stats: FlowStats
+    competitor_stats: List[FlowStats] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.actions)
+
+
+def _reward_for(
+    env: EnvConfig,
+    flow: Flow,
+    prev_bytes: int,
+    prev_lost: int,
+    interval: float,
+    config: RewardConfig,
+) -> float:
+    delivered_bps = (flow.receiver.total_bytes - prev_bytes) * 8.0 / interval
+    lost_bps = (flow.sender.lost_bytes - prev_lost) * 8.0 / interval
+    if env.is_multi_flow:
+        fair = env.fair_share_bps(env.n_competing_cubic + 1)
+        return friendliness_reward(delivered_bps, fair, config)
+    capacity = env.mean_capacity_bps()
+    delay = flow.sender.srtt_or_min or env.min_rtt
+    return single_flow_reward(
+        delivered_bps, lost_bps, delay, capacity, env.min_rtt, config
+    )
+
+
+def _run(
+    env: EnvConfig,
+    scheme,
+    agent: Optional[PolicyAgent],
+    windows: Optional[WindowConfig],
+    rewards: RewardConfig,
+    tick: float,
+) -> RolloutResult:
+    loop, network = build_network(env)
+
+    competitors: List[Flow] = []
+    for i in range(env.n_competing_cubic):
+        competitors.append(
+            Flow(network, flow_id=100 + i, scheme="cubic", min_rtt=env.min_rtt)
+        )
+    flow = Flow(
+        network,
+        flow_id=0,
+        scheme=scheme,
+        min_rtt=env.min_rtt,
+        start_at=env.competitor_head_start if competitors else 0.0,
+    )
+    if agent is not None:
+        flow.sender.external_cwnd_control = True
+        agent.reset()
+
+    for comp in competitors:
+        comp.start()
+    flow.start()
+
+    gr = GRUnit(flow.sender, windows=windows)
+    states: List[np.ndarray] = []
+    actions: List[float] = []
+    reward_list: List[float] = []
+
+    t = flow.start_at
+    prev_bytes = flow.receiver.total_bytes
+    prev_lost = flow.sender.lost_bytes
+    end = flow.start_at + env.duration
+    sample_every = max(int(round(0.1 / tick)), 1)
+    n_ticks = 0
+    while t < end - 1e-9:
+        t += tick
+        loop.run_until(t)
+        state, action = gr.tick()
+        if agent is not None:
+            ratio = float(agent.act(state))
+            ratio = float(np.clip(ratio, 1.0 / 3.0, 3.0))
+            flow.sender.set_cwnd(flow.sender.cwnd * ratio)
+            action = ratio
+            gr._last_cwnd = max(flow.sender.cwnd, 1.0)
+        r = _reward_for(env, flow, prev_bytes, prev_lost, tick, rewards)
+        prev_bytes = flow.receiver.total_bytes
+        prev_lost = flow.sender.lost_bytes
+        states.append(state)
+        actions.append(action)
+        reward_list.append(r)
+        n_ticks += 1
+        if n_ticks % sample_every == 0:
+            flow.sample()
+            for comp in competitors:
+                comp.sample()
+
+    flow.stop()
+    for comp in competitors:
+        comp.stop()
+
+    return RolloutResult(
+        env=env,
+        scheme=flow.cc.name if agent is None else getattr(agent, "name", "agent"),
+        states=np.asarray(states),
+        actions=np.asarray(actions),
+        rewards=np.asarray(reward_list),
+        stats=flow.stats(),
+        competitor_stats=[c.stats() for c in competitors],
+    )
+
+
+def collect_trajectory(
+    env: EnvConfig,
+    scheme: str,
+    windows: Optional[WindowConfig] = None,
+    rewards: RewardConfig = DEFAULT_REWARDS,
+    tick: float = TICK,
+) -> RolloutResult:
+    """Run a kernel CC scheme in ``env`` and record its GR trajectory."""
+    return _run(env, scheme, agent=None, windows=windows, rewards=rewards, tick=tick)
+
+
+def run_policy(
+    env: EnvConfig,
+    agent: PolicyAgent,
+    windows: Optional[WindowConfig] = None,
+    rewards: RewardConfig = DEFAULT_REWARDS,
+    tick: float = TICK,
+    underlying_scheme: str = "newreno",
+) -> RolloutResult:
+    """Deploy a learned agent in ``env``: the agent owns the cwnd.
+
+    The underlying scheme's loss machinery is bypassed
+    (``external_cwnd_control``); only the transport plumbing is reused —
+    this is the repo's TCP Pure.
+    """
+    return _run(
+        env, underlying_scheme, agent=agent, windows=windows, rewards=rewards, tick=tick
+    )

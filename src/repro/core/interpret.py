@@ -1,0 +1,74 @@
+"""Interpretability: which Table-1 signals drive the learned policy?
+
+Section 8 ("Analysing Learning-based CCs") calls for tools that explain a
+CC DNN's decisions. This module provides gradient saliency: the derivative
+of the policy's action (the mean of its most likely mixture component) with
+respect to each of the 69 input statistics, aggregated over a batch of
+states. Large-magnitude entries are the signals the policy is actually
+reading — the learned analogue of a heuristic's "congestion signal".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.gr_unit import STATE_FIELDS, normalize_state
+from repro.core.networks import SagePolicy
+from repro.nn.autograd import Tensor
+
+
+def action_gradient(policy: SagePolicy, state: np.ndarray) -> np.ndarray:
+    """d(action mean) / d(normalized input) for one raw 69-dim state."""
+    x = Tensor(normalize_state(state)[None, :], requires_grad=True)
+    pre = policy.trunk.pre(x)
+    g, _ = policy.trunk.recurrent(pre, policy.trunk.initial_state(1))
+    feat = policy.trunk.post(g)
+    logits, means, _ = policy.head._split(feat)
+    comp = int(np.argmax(logits.data[0]))
+    means[:, comp].sum().backward()
+    return x.grad[0].copy()
+
+
+def input_saliency(
+    policy: SagePolicy, states: np.ndarray
+) -> Dict[str, float]:
+    """Mean absolute action gradient per Table-1 field over many states."""
+    states = np.atleast_2d(states)
+    total = np.zeros(len(STATE_FIELDS))
+    for s in states:
+        total += np.abs(action_gradient(policy, s))
+    total /= len(states)
+    return dict(zip(STATE_FIELDS, total))
+
+
+def top_signals(
+    saliency: Dict[str, float], k: int = 10
+) -> List[Tuple[str, float]]:
+    """The ``k`` most influential input statistics, most salient first."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    return sorted(saliency.items(), key=lambda kv: -kv[1])[:k]
+
+
+def group_saliency(saliency: Dict[str, float]) -> Dict[str, float]:
+    """Aggregate saliency into the paper's signal categories.
+
+    Groups: delay (rtt*), throughput (thr/dr*), loss (lost/loss*),
+    inflight, and control (actions/ratios/state).
+    """
+    groups = {"delay": 0.0, "throughput": 0.0, "loss": 0.0, "inflight": 0.0,
+              "control": 0.0}
+    for field, value in saliency.items():
+        if field.startswith(("srtt", "rttvar", "rtt")):
+            groups["delay"] += value
+        elif field.startswith(("thr", "dr", "acked_rate")):
+            groups["throughput"] += value
+        elif field.startswith(("lost", "loss")):
+            groups["loss"] += value
+        elif field.startswith("inflight"):
+            groups["inflight"] += value
+        else:
+            groups["control"] += value
+    return groups

@@ -1,0 +1,115 @@
+"""End-to-end training pipeline (Section 5).
+
+Three phases, mirroring Fig. 3:
+
+1. :func:`collect_pool` — run every pool scheme through every environment
+   *once*; after this the environments are "unplugged".
+2. :func:`train_sage_on_pool` — fully-offline CRR training, with periodic
+   checkpoints standing in for the paper's per-day snapshots (Fig. 7).
+3. Deployment — the returned :class:`~repro.core.agent.SageAgent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.collector.environments import EnvConfig, training_environments
+from repro.collector.gr_unit import WindowConfig
+from repro.collector.pool import PolicyPool
+from repro.collector.rollout import collect_trajectory
+from repro.core.agent import SageAgent
+from repro.core.crr import CRRConfig, CRRTrainer
+from repro.core.networks import NetworkConfig
+from repro.tcp.cc_base import POOL_SCHEMES
+
+
+@dataclass
+class TrainingRun:
+    """Everything a training session produces."""
+
+    agent: SageAgent
+    trainer: CRRTrainer
+    checkpoints: List[Dict[str, np.ndarray]] = field(default_factory=list)
+    #: training-step index at which each checkpoint was taken
+    checkpoint_steps: List[int] = field(default_factory=list)
+
+    def agent_at(self, checkpoint: int, deterministic: bool = False) -> SageAgent:
+        """Rebuild the agent as of checkpoint ``checkpoint`` ("day k")."""
+        from repro.core.networks import SagePolicy
+
+        policy = SagePolicy(self.trainer.net_cfg, np.random.default_rng(0))
+        policy.load_state_dict(self.checkpoints[checkpoint])
+        return SageAgent(
+            policy, deterministic=deterministic, name=f"sage-ckpt{checkpoint}"
+        )
+
+
+def collect_pool(
+    environments: Optional[Sequence[EnvConfig]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    windows: Optional[WindowConfig] = None,
+    tick: float = 0.02,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PolicyPool:
+    """Phase 1: build the pool of policies (collection happens once)."""
+    envs = list(environments) if environments is not None else training_environments("mini")
+    schemes = list(schemes) if schemes is not None else list(POOL_SCHEMES)
+    pool = PolicyPool()
+    for env in envs:
+        for scheme in schemes:
+            rollout = collect_trajectory(env, scheme, windows=windows, tick=tick)
+            pool.add_rollout(rollout)
+            if progress is not None:
+                progress(f"collected {scheme} on {env.env_id}")
+    return pool
+
+
+def train_sage_on_pool(
+    pool: PolicyPool,
+    n_steps: int = 300,
+    n_checkpoints: int = 7,
+    net_config: Optional[NetworkConfig] = None,
+    crr_config: Optional[CRRConfig] = None,
+    seed: int = 0,
+    log_every: int = 0,
+) -> TrainingRun:
+    """Phase 2: offline CRR training with per-"day" checkpoints.
+
+    ``n_checkpoints`` evenly-spaced snapshots stand in for the paper's seven
+    daily checkpoints in Fig. 7.
+    """
+    if n_steps < n_checkpoints:
+        raise ValueError("need at least one step per checkpoint")
+    trainer = CRRTrainer(pool, net_config=net_config, config=crr_config, seed=seed)
+    run = TrainingRun(
+        agent=SageAgent(trainer.policy, name="sage"),
+        trainer=trainer,
+    )
+    per_ckpt = n_steps // n_checkpoints
+    for day in range(n_checkpoints):
+        trainer.train(per_ckpt, log_every=log_every)
+        run.checkpoints.append(trainer.policy.state_dict())
+        run.checkpoint_steps.append(trainer.steps_done)
+    return run
+
+
+def train_sage(
+    scale: str = "mini",
+    n_steps: int = 300,
+    schemes: Optional[Sequence[str]] = None,
+    net_config: Optional[NetworkConfig] = None,
+    crr_config: Optional[CRRConfig] = None,
+    seed: int = 0,
+) -> TrainingRun:
+    """Convenience wrapper: collect a pool at ``scale`` and train on it."""
+    pool = collect_pool(training_environments(scale), schemes=schemes)
+    return train_sage_on_pool(
+        pool,
+        n_steps=n_steps,
+        net_config=net_config,
+        crr_config=crr_config,
+        seed=seed,
+    )

@@ -1,0 +1,118 @@
+"""Leagues: run a set of participants over Set I / Set II and rank them.
+
+A *participant* is either a kernel scheme (by registry name) or a learned
+agent (anything satisfying the PolicyAgent protocol). The league runner
+plays every participant through every environment, scores each
+scenario-interval, and reports winning rates — the machinery behind
+Figs. 1, 7, 9, 10, 20/21 and Tables 2/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.collector.environments import EnvConfig, set1_environments, set2_environments
+from repro.collector.rollout import RolloutResult, collect_trajectory, run_policy
+from repro.evalx.scores import ScoreEntry, interval_scores, winning_rates
+from repro.tcp.cc_base import DELAY_LEAGUE, POOL_SCHEMES
+
+#: The heuristic league of Fig. 1 (the 13 pool schemes).
+HEURISTIC_LEAGUE = list(POOL_SCHEMES)
+
+#: The delay-based league of Fig. 10.
+DELAY_LEAGUE_NAMES = list(DELAY_LEAGUE)
+
+
+@dataclass
+class Participant:
+    """One league entrant: a kernel scheme or a learned agent."""
+
+    name: str
+    scheme: Optional[str] = None  # registry name, for kernel schemes
+    agent: Optional[object] = None  # PolicyAgent, for learned entrants
+
+    def __post_init__(self) -> None:
+        if (self.scheme is None) == (self.agent is None):
+            raise ValueError("exactly one of scheme/agent must be set")
+
+    @classmethod
+    def from_scheme(cls, scheme: str) -> "Participant":
+        return cls(name=scheme, scheme=scheme)
+
+    @classmethod
+    def from_agent(cls, agent, name: Optional[str] = None) -> "Participant":
+        return cls(name=name or getattr(agent, "name", "agent"), agent=agent)
+
+
+@dataclass
+class LeagueResult:
+    """Winning rates per set, plus raw per-interval scores."""
+
+    set1_rates: Dict[str, float]
+    set2_rates: Dict[str, float]
+    set1_entries: List[ScoreEntry] = field(default_factory=list)
+    set2_entries: List[ScoreEntry] = field(default_factory=list)
+
+    def ranking(self, which: str = "set1") -> List[tuple]:
+        rates = self.set1_rates if which == "set1" else self.set2_rates
+        return sorted(rates.items(), key=lambda kv: kv[1], reverse=True)
+
+    def format_table(self) -> str:
+        lines = [f"{'rank':>4} {'scheme':>12} {'Set I':>8}   |   {'scheme':>12} {'Set II':>8}"]
+        r1, r2 = self.ranking("set1"), self.ranking("set2")
+        for i in range(max(len(r1), len(r2))):
+            left = f"{r1[i][0]:>12} {r1[i][1] * 100:7.2f}%" if i < len(r1) else " " * 21
+            right = f"{r2[i][0]:>12} {r2[i][1] * 100:7.2f}%" if i < len(r2) else ""
+            lines.append(f"{i + 1:>4} {left}   |   {right}")
+        return "\n".join(lines)
+
+
+def run_participant(participant: Participant, env: EnvConfig, tick: float = 0.02) -> RolloutResult:
+    """Play one participant in one environment."""
+    if participant.scheme is not None:
+        result = collect_trajectory(env, participant.scheme, tick=tick)
+    else:
+        result = run_policy(env, participant.agent, tick=tick)
+    # Label with the participant's league name (agents carry their own).
+    result.scheme = participant.name
+    return result
+
+
+def run_league(
+    participants: Sequence[Participant],
+    set1: Optional[Sequence[EnvConfig]] = None,
+    set2: Optional[Sequence[EnvConfig]] = None,
+    margin: float = 0.10,
+    alpha: float = 2.0,
+    n_intervals: int = 4,
+    tick: float = 0.02,
+    progress=None,
+) -> LeagueResult:
+    """Run the full league and compute winning rates for both sets."""
+    if set1 is None:
+        set1 = set1_environments(
+            bws=(24.0, 48.0), rtts=(0.02, 0.06), buffers=(1.0, 4.0),
+            step_ms=(0.5, 2.0), duration=12.0,
+        )
+    if set2 is None:
+        set2 = set2_environments(
+            bws=(24.0, 48.0), rtts=(0.02, 0.06), buffers=(2.0, 8.0), duration=16.0,
+        )
+    set1_entries: List[ScoreEntry] = []
+    set2_entries: List[ScoreEntry] = []
+    for env_list, sink in ((set1, set1_entries), (set2, set2_entries)):
+        for env in env_list:
+            for p in participants:
+                result = run_participant(p, env, tick=tick)
+                sink.extend(
+                    interval_scores(result, alpha=alpha, n_intervals=n_intervals)
+                )
+                if progress is not None:
+                    progress(f"{p.name} on {env.env_id}")
+    return LeagueResult(
+        set1_rates=winning_rates(set1_entries, margin=margin),
+        set2_rates=winning_rates(set2_entries, margin=margin),
+        set1_entries=set1_entries,
+        set2_entries=set2_entries,
+    )

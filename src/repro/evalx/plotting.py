@@ -1,0 +1,107 @@
+"""Terminal plotting: ASCII time-series and scatter charts.
+
+matplotlib is deliberately not a dependency; the dynamics figures
+(Figs. 17-19, 24-28) render as terminal charts good enough to eyeball the
+waveforms the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_GLYPHS = "#*+ox%@&"
+
+
+def ascii_timeseries(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (times, values) series on one shared-axis ASCII chart."""
+    if not series:
+        raise ValueError("no series to plot")
+    all_t = np.concatenate([np.asarray(t, float) for t, _ in series.values()])
+    all_v = np.concatenate([np.asarray(v, float) for _, v in series.values()])
+    if all_t.size == 0:
+        raise ValueError("series are empty")
+    t_lo, t_hi = float(all_t.min()), float(all_t.max())
+    v_lo, v_hi = float(all_v.min()), float(all_v.max())
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    if v_hi <= v_lo:
+        v_hi = v_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, (ts, vs)) in enumerate(series.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        for t, v in zip(np.asarray(ts, float), np.asarray(vs, float)):
+            x = int((t - t_lo) / (t_hi - t_lo) * (width - 1))
+            y = int((v - v_lo) / (v_hi - v_lo) * (height - 1))
+            grid[height - 1 - y][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{v_hi:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{v_lo:10.3g} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{t_lo:<10.3g}" + " " * (width - 20) + f"{t_hi:>10.3g}")
+    legend = "   ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]} {name}" for k, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Dict[str, Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labeled (x, y) points — the Fig. 8/22 throughput-delay planes."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = np.array([p[0] for p in points.values()], float)
+    ys = np.array([p[1] for p in points.values()], float)
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    labels = []
+    for k, (name, (x, y)) in enumerate(points.items()):
+        gx = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        gy = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        grid[height - 1 - gy][gx] = glyph
+        labels.append(f"{glyph} {name}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.3g} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x_lo:<10.3g} {x_label} {x_hi:>10.3g}  [{y_label}]")
+    lines.append(" " * 12 + "   ".join(labels))
+    return "\n".join(lines)
+
+
+def plot_flow_throughput(result, width: int = 72, height: int = 14) -> str:
+    """Chart a rollout's throughput series (Mbps over seconds)."""
+    s = result.stats
+    return ascii_timeseries(
+        {result.scheme: (s.times, [t / 1e6 for t in s.throughput_series])},
+        width=width, height=height,
+        title=f"throughput — {result.env.env_id}", y_label="Mbps",
+    )

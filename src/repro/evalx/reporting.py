@@ -1,0 +1,85 @@
+"""Result reporting: persist experiment outputs as CSV / Markdown.
+
+The benches print their rows; this module lets scripts also persist them in
+machine-readable form (the files EXPERIMENTS.md quotes were assembled from
+these writers).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+
+def save_csv(path, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write rows to ``path`` as CSV with the given header."""
+    header = list(header)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        for row in rows:
+            row = list(row)
+            if len(row) != len(header):
+                raise ValueError(
+                    f"row width {len(row)} != header width {len(header)}: {row}"
+                )
+            writer.writerow(row)
+
+
+def load_csv(path) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`save_csv` into dict rows."""
+    with Path(path).open() as f:
+        return list(csv.DictReader(f))
+
+
+def markdown_table(header: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as a GitHub-flavored Markdown table."""
+    header = list(header)
+    lines = [
+        "| " + " | ".join(str(h) for h in header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        row = list(row)
+        if len(row) != len(header):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(header)}: {row}"
+            )
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def league_rows(result) -> List[List]:
+    """Flatten a :class:`~repro.evalx.leagues.LeagueResult` into rows
+    ``[participant, set1_rate, set2_rate]`` sorted by combined rate."""
+    names = sorted(
+        set(result.set1_rates) | set(result.set2_rates),
+        key=lambda n: -(result.set1_rates.get(n, 0.0) + result.set2_rates.get(n, 0.0)),
+    )
+    return [
+        [n, result.set1_rates.get(n, 0.0), result.set2_rates.get(n, 0.0)]
+        for n in names
+    ]
+
+
+def internet_rows(report) -> List[List]:
+    """Flatten an :class:`~repro.evalx.internet.InternetReport` into rows
+    ``[participant, norm_throughput, norm_delay, norm_delay_p95]``."""
+    return [
+        [
+            name,
+            report.norm_throughput[name],
+            report.norm_delay[name],
+            report.norm_delay_p95[name],
+        ]
+        for name in sorted(report.norm_throughput)
+    ]

@@ -1,0 +1,140 @@
+"""Scores, intervals, winners, and winning rates (Section 5.1, Appendix D).
+
+Single-flow scenarios are scored with a Power-style metric
+``S_p = r^alpha / d`` (bigger is better); multi-flow scenarios with the
+friendliness distance ``S_fr = |f - r|`` (smaller is better).
+
+Appendix D's two refinements are both implemented:
+
+- instead of one score per experiment, each experiment is split into
+  ``n_intervals`` (default 4) and scored per interval, so slow reactions to
+  changes are not averaged away;
+- the *winners* of a scenario-interval are all schemes within a margin
+  (default 10%) of the best score, absorbing meaningless real-number
+  differences.
+
+The *winning rate* of a scheme is its number of wins over the total number
+of scenario-intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScoreEntry:
+    """Score of one participant in one scenario-interval."""
+
+    participant: str
+    env_id: str
+    interval: int
+    score: float
+    higher_is_better: bool
+
+
+def power_score(throughput_bps: float, delay_s: float, alpha: float = 2.0) -> float:
+    """``S_p = r^alpha / d`` with r in Mbps and d in ms (scale-free ranking)."""
+    if delay_s <= 0:
+        raise ValueError("delay must be positive")
+    r = max(throughput_bps / 1e6, 1e-6)
+    d = delay_s * 1e3
+    return (r ** alpha) / d
+
+
+def friendliness_score(throughput_bps: float, fair_share_bps: float) -> float:
+    """``S_fr = |f - r|`` in Mbps; smaller is better."""
+    return abs(fair_share_bps - throughput_bps) / 1e6
+
+
+def interval_scores(
+    result,
+    fair_share_bps: float = 0.0,
+    alpha: float = 2.0,
+    n_intervals: int = 4,
+) -> List[ScoreEntry]:
+    """Score one :class:`~repro.collector.rollout.RolloutResult` per interval."""
+    stats = result.stats
+    times = np.asarray(stats.times)
+    thr = np.asarray(stats.throughput_series)
+    rtt = np.asarray(stats.rtt_series)
+    if len(times) < n_intervals:
+        raise ValueError(
+            f"need at least {n_intervals} samples to score, got {len(times)}"
+        )
+    multi = result.env.is_multi_flow
+    chunks = np.array_split(np.arange(len(times)), n_intervals)
+    entries = []
+    for k, idx in enumerate(chunks):
+        mean_thr = float(thr[idx].mean())
+        if multi:
+            fair = fair_share_bps or result.env.fair_share_bps(
+                result.env.n_competing_cubic + 1
+            )
+            score = friendliness_score(mean_thr, fair)
+            higher = False
+        else:
+            mean_rtt = float(rtt[idx].mean()) or result.env.min_rtt
+            score = power_score(mean_thr, max(mean_rtt, 1e-4), alpha=alpha)
+            higher = True
+        entries.append(
+            ScoreEntry(
+                participant=result.scheme,
+                env_id=result.env.env_id,
+                interval=k,
+                score=score,
+                higher_is_better=higher,
+            )
+        )
+    return entries
+
+
+def determine_winners(
+    entries: Sequence[ScoreEntry], margin: float = 0.10
+) -> Dict[str, List[str]]:
+    """Winners per scenario-interval.
+
+    For higher-is-better scores, every participant with
+    ``score >= (1 - margin) * best`` wins; for lower-is-better,
+    ``score <= best + margin * spread`` wins (an additive margin, since
+    S_fr's best can be ~0 where a multiplicative margin degenerates).
+
+    Returns ``{f"{env_id}#{interval}": [winner names]}``.
+    """
+    if not 0 <= margin < 1:
+        raise ValueError("margin must be in [0, 1)")
+    cells: Dict[str, List[ScoreEntry]] = {}
+    for e in entries:
+        cells.setdefault(f"{e.env_id}#{e.interval}", []).append(e)
+    winners: Dict[str, List[str]] = {}
+    for key, cell in cells.items():
+        higher = cell[0].higher_is_better
+        scores = np.array([e.score for e in cell])
+        if higher:
+            best = scores.max()
+            won = scores >= (1.0 - margin) * best
+        else:
+            best = scores.min()
+            spread = max(scores.max() - best, 1e-9)
+            won = scores <= best + margin * spread
+        winners[key] = [e.participant for e, w in zip(cell, won) if w]
+    return winners
+
+
+def winning_rates(
+    entries: Sequence[ScoreEntry], margin: float = 0.10
+) -> Dict[str, float]:
+    """Fraction of scenario-intervals each participant wins."""
+    winners = determine_winners(entries, margin=margin)
+    participants = sorted({e.participant for e in entries})
+    n_cells = len(winners)
+    if n_cells == 0:
+        return {p: 0.0 for p in participants}
+    counts = {p: 0 for p in participants}
+    for won in winners.values():
+        for p in won:
+            counts[p] += 1
+    return {p: counts[p] / n_cells for p in participants}

@@ -1,0 +1,93 @@
+"""Trajectory distance and similarity analyses (Sections 7.1 and 7.2).
+
+- :func:`distance_cdf` (Fig. 11): for each transition ``u = (s, a, s')`` of
+  a fresh rollout, the *Distance* is the minimum pairwise cosine distance to
+  the transitions already in the pool — quantifying distributional shift.
+- :func:`similarity_index` (Fig. 13): the average cosine similarity between
+  an agent's transitions and a scheme's transitions in the same
+  environment — quantifying which pool schemes the learned model resembles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.collector.pool import PolicyPool
+from repro.collector.rollout import RolloutResult
+
+
+def transition_matrix(result_or_traj) -> np.ndarray:
+    """Stack (s_t, a_t, s_{t+1}) transitions into a (T-1, 2D+1) matrix."""
+    states = np.asarray(result_or_traj.states, dtype=np.float64)
+    actions = np.asarray(result_or_traj.actions, dtype=np.float64)
+    if len(actions) < 2:
+        raise ValueError("need at least two timesteps to form transitions")
+    return np.concatenate(
+        [states[:-1], actions[:-1, None], states[1:]], axis=1
+    )
+
+
+def _normalize_rows(m: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(m, axis=1, keepdims=True)
+    return m / np.maximum(norms, 1e-12)
+
+
+def min_cosine_distances(
+    probe: np.ndarray, reference: np.ndarray, block: int = 512
+) -> np.ndarray:
+    """Per-probe-row minimum cosine distance to any reference row."""
+    p = _normalize_rows(probe)
+    r = _normalize_rows(reference)
+    out = np.empty(p.shape[0])
+    for i in range(0, p.shape[0], block):
+        sims = p[i : i + block] @ r.T  # cosine similarity
+        out[i : i + block] = 1.0 - sims.max(axis=1)
+    return np.clip(out, 0.0, 2.0)
+
+
+def distance_cdf(
+    rollout: RolloutResult, pool: PolicyPool, max_pool_rows: int = 20000, seed: int = 0
+) -> np.ndarray:
+    """Fig. 11: sorted Distance values of a rollout against the pool."""
+    probe = transition_matrix(rollout)
+    refs = [transition_matrix(t) for t in pool.trajectories if t.length >= 2]
+    if not refs:
+        raise ValueError("pool has no usable trajectories")
+    reference = np.concatenate(refs, axis=0)
+    if reference.shape[0] > max_pool_rows:
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(reference.shape[0], size=max_pool_rows, replace=False)
+        reference = reference[idx]
+    return np.sort(min_cosine_distances(probe, reference))
+
+
+def similarity_index(
+    agent_rollout: RolloutResult, scheme_rollout: RolloutResult
+) -> float:
+    """Fig. 13: mean over agent transitions of the max cosine similarity to
+    the scheme's transitions in the same environment (1 = identical)."""
+    a = _normalize_rows(transition_matrix(agent_rollout))
+    s = _normalize_rows(transition_matrix(scheme_rollout))
+    sims = a @ s.T
+    return float(sims.max(axis=1).mean())
+
+
+def similarity_table(
+    agent_rollouts: Sequence[RolloutResult],
+    scheme_rollouts: Dict[str, List[RolloutResult]],
+) -> Dict[str, List[float]]:
+    """Similarity Indices per scheme across environments (rows of Fig. 13).
+
+    ``agent_rollouts[i]`` and every ``scheme_rollouts[name][i]`` must come
+    from the same environment ``i``.
+    """
+    table: Dict[str, List[float]] = {}
+    for name, rollouts in scheme_rollouts.items():
+        if len(rollouts) != len(agent_rollouts):
+            raise ValueError(f"scheme {name} has mismatched environment count")
+        table[name] = [
+            similarity_index(a, s) for a, s in zip(agent_rollouts, rollouts)
+        ]
+    return table

@@ -1,0 +1,84 @@
+"""Minimal exact t-SNE (van der Maaten & Hinton 2008) for Fig. 16.
+
+The paper visualizes the last hidden layer of Sage-s/m/l over seven Set II
+environments. This is a small, exact (non-Barnes-Hut) implementation —
+fine for the few hundred points the figure uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    s = (x * x).sum(axis=1)
+    d2 = s[:, None] + s[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.maximum(d2, 0.0)
+
+
+def _binary_search_perplexity(
+    d2_row: np.ndarray, target_entropy: float, tol: float = 1e-5, iters: int = 50
+) -> np.ndarray:
+    """Find the Gaussian precision matching the target perplexity for one row."""
+    beta_lo, beta_hi, beta = 0.0, np.inf, 1.0
+    p = np.zeros_like(d2_row)
+    for _ in range(iters):
+        p = np.exp(-d2_row * beta)
+        p_sum = p.sum()
+        if p_sum <= 0:
+            p_sum = 1e-12
+        h = np.log(p_sum) + beta * (d2_row * p).sum() / p_sum
+        diff = h - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_lo = beta
+            beta = beta * 2.0 if beta_hi == np.inf else (beta + beta_hi) / 2.0
+        else:
+            beta_hi = beta
+            beta = (beta + beta_lo) / 2.0
+    return p / max(p.sum(), 1e-12)
+
+
+def tsne(
+    x: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 15.0,
+    n_iter: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Embed (N, D) points into (N, n_components)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        raise ValueError("t-SNE needs at least 4 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    d2 = _pairwise_sq_dists(x)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(d2[i], i)
+        pi = _binary_search_perplexity(row, target_entropy)
+        p[i, np.arange(n) != i] = pi
+    p = (p + p.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+    p_early = p * 4.0  # early exaggeration
+
+    rng = np.random.default_rng(seed)
+    y = rng.standard_normal((n, n_components)) * 1e-2
+    velocity = np.zeros_like(y)
+    for it in range(n_iter):
+        pp = p_early if it < n_iter // 4 else p
+        d2y = _pairwise_sq_dists(y)
+        q_num = 1.0 / (1.0 + d2y)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        pq = (pp - q) * q_num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+        momentum = 0.5 if it < 100 else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

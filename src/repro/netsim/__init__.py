@@ -1,0 +1,64 @@
+"""Discrete-event single-bottleneck network emulator.
+
+This package is the repo's substitute for the (improved) Mahimahi emulator
+used by the paper: a dumbbell network with one bottleneck link whose capacity
+may be constant (*flat* scenarios), change once (*step* scenarios), or follow
+a trace (*cellular* scenarios), a finite buffer managed by a pluggable AQM,
+and symmetric propagation delay setting the minimum RTT.
+
+The public surface:
+
+- :class:`~repro.netsim.engine.EventLoop` — the simulation clock.
+- :class:`~repro.netsim.packet.Packet` — what flows through the network.
+- :class:`~repro.netsim.link.Link` — the bottleneck: queue + service process.
+- :mod:`~repro.netsim.aqm` — TailDrop, HeadDrop, CoDel, PIE, BoDe.
+- :mod:`~repro.netsim.traces` — capacity processes (flat, step, cellular,
+  Internet-path).
+- :class:`~repro.netsim.network.Network` — wires senders, the bottleneck,
+  and receivers together.
+"""
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.packet import Packet, MSS_BYTES
+from repro.netsim.link import Link
+from repro.netsim.network import Network, PathConfig, make_network
+from repro.netsim.aqm import (
+    AQM,
+    TailDrop,
+    HeadDrop,
+    CoDel,
+    PIE,
+    BoDe,
+    make_aqm,
+)
+from repro.netsim.traces import (
+    RateProcess,
+    FlatRate,
+    StepRate,
+    TraceRate,
+    cellular_trace,
+    internet_path_rate,
+)
+
+__all__ = [
+    "EventLoop",
+    "Packet",
+    "MSS_BYTES",
+    "Link",
+    "Network",
+    "PathConfig",
+    "make_network",
+    "AQM",
+    "TailDrop",
+    "HeadDrop",
+    "CoDel",
+    "PIE",
+    "BoDe",
+    "make_aqm",
+    "RateProcess",
+    "FlatRate",
+    "StepRate",
+    "TraceRate",
+    "cellular_trace",
+    "internet_path_rate",
+]

@@ -1,0 +1,287 @@
+"""Bottleneck buffers and Active Queue Management disciplines.
+
+Figure 23 of the paper evaluates Sage under five queue disciplines: tail
+drop (TDrop), head drop (HDrop), CoDel, PIE, and BoDe. Each discipline here
+owns the FIFO buffer so that head-dropping variants can reach inside it.
+
+The :class:`~repro.netsim.link.Link` drives the interface: it calls
+:meth:`AQM.enqueue` on packet arrival and :meth:`AQM.dequeue` when the
+serializer frees up, and it keeps :attr:`AQM.current_rate_bps` up to date so
+delay-estimating disciplines (PIE, BoDe) can convert backlog to latency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+from repro.netsim.packet import Packet
+
+
+class AQM:
+    """Base buffer: unbounded FIFO bookkeeping plus drop statistics."""
+
+    name = "base"
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.buffer: deque = deque()
+        self.bytes_queued = 0
+        self.drops = 0
+        self.enqueues = 0
+        #: Updated by the Link before every enqueue/dequeue; lets the AQM
+        #: estimate queueing delay as backlog / service rate.
+        self.current_rate_bps = 1e6
+
+    # -- interface -----------------------------------------------------
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        """Try to admit ``pkt``; return True if accepted."""
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Pop the next packet to serve, or None if empty."""
+        if not self.buffer:
+            return None
+        pkt = self.buffer.popleft()
+        self.bytes_queued -= pkt.size
+        return pkt
+
+    # -- helpers -------------------------------------------------------
+    def _admit(self, pkt: Packet, now: float) -> None:
+        pkt.enqueue_time = now
+        self.buffer.append(pkt)
+        self.bytes_queued += pkt.size
+        self.enqueues += 1
+
+    def queue_delay_estimate(self) -> float:
+        """Backlog converted to seconds at the current service rate."""
+        return self.bytes_queued * 8.0 / max(self.current_rate_bps, 1e3)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+
+class TailDrop(AQM):
+    """Classic drop-tail: reject arrivals that would overflow the buffer.
+
+    Optionally ECN-capable: with ``ecn_threshold_bytes`` set, arrivals from
+    ECT senders are CE-marked (not dropped) once the backlog exceeds the
+    threshold — the simple step-marking DCTCP expects from its switches.
+    """
+
+    name = "taildrop"
+
+    def __init__(
+        self, capacity_bytes: int, ecn_threshold_bytes: Optional[int] = None
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if ecn_threshold_bytes is not None and ecn_threshold_bytes <= 0:
+            raise ValueError("ECN threshold must be positive")
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.ce_marks = 0
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        if (
+            self.ecn_threshold_bytes is not None
+            and pkt.ect
+            and self.bytes_queued >= self.ecn_threshold_bytes
+        ):
+            pkt.ce = True
+            self.ce_marks += 1
+        self._admit(pkt, now)
+        return True
+
+
+class HeadDrop(AQM):
+    """Drop-from-front: on overflow, evict the *oldest* packet(s).
+
+    Head drop signals congestion to the sender one queue-drain earlier than
+    tail drop, which is why Mahimahi-style cellular evaluations often use it.
+    """
+
+    name = "headdrop"
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        while self.buffer and self.bytes_queued + pkt.size > self.capacity_bytes:
+            victim = self.buffer.popleft()
+            self.bytes_queued -= victim.size
+            self.drops += 1
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        self._admit(pkt, now)
+        return True
+
+
+class CoDel(AQM):
+    """Controlled Delay AQM (Nichols & Jacobson, CACM 2012).
+
+    Tail-drops on hard overflow, and additionally drops at *dequeue* when the
+    per-packet sojourn time has stayed above ``target`` for at least
+    ``interval``, with the drop spacing shrinking as ``interval/sqrt(count)``.
+    """
+
+    name = "codel"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        target: float = 0.005,
+        interval: float = 0.100,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        self.target = target
+        self.interval = interval
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._count = 0
+        self._dropping = False
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        self._admit(pkt, now)
+        return True
+
+    def _should_drop(self, pkt: Packet, now: float) -> bool:
+        sojourn = now - pkt.enqueue_time
+        if sojourn < self.target or self.bytes_queued < 2 * 1500:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        while self.buffer:
+            pkt = self.buffer.popleft()
+            self.bytes_queued -= pkt.size
+            if self._dropping:
+                if not self._should_drop(pkt, now):
+                    self._dropping = False
+                    return pkt
+                if now >= self._drop_next:
+                    self.drops += 1
+                    self._count += 1
+                    self._drop_next = now + self.interval / math.sqrt(self._count)
+                    continue
+                return pkt
+            if self._should_drop(pkt, now):
+                self.drops += 1
+                self._dropping = True
+                self._count = max(1, self._count // 2)
+                self._drop_next = now + self.interval / math.sqrt(self._count)
+                continue
+            return pkt
+        return None
+
+
+class PIE(AQM):
+    """Proportional Integral controller Enhanced (Pan et al., HPSR 2013).
+
+    Probabilistically drops at enqueue; the drop probability is updated every
+    ``t_update`` from the estimated queueing delay and its trend.
+    """
+
+    name = "pie"
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        target: float = 0.015,
+        t_update: float = 0.030,
+        alpha: float = 0.125,
+        beta: float = 1.25,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        self.target = target
+        self.t_update = t_update
+        self.alpha = alpha
+        self.beta = beta
+        self._p = 0.0
+        self._qdelay_old = 0.0
+        self._last_update = 0.0
+        # A tiny deterministic LCG keeps the discipline reproducible without
+        # threading a numpy Generator through the hot path.
+        self._rng_state = (seed * 2654435761) & 0xFFFFFFFF
+
+    def _rand(self) -> float:
+        self._rng_state = (1103515245 * self._rng_state + 12345) & 0x7FFFFFFF
+        return self._rng_state / 0x7FFFFFFF
+
+    def _maybe_update(self, now: float) -> None:
+        if now - self._last_update < self.t_update:
+            return
+        self._last_update = now
+        qdelay = self.queue_delay_estimate()
+        p = self._p
+        p += self.alpha * (qdelay - self.target) + self.beta * (qdelay - self._qdelay_old)
+        self._qdelay_old = qdelay
+        self._p = min(max(p, 0.0), 1.0)
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        self._maybe_update(now)
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        # PIE never drops when the queue is nearly empty (burst allowance).
+        if self.bytes_queued > 3 * 1500 and self._rand() < self._p:
+            self.drops += 1
+            return False
+        self._admit(pkt, now)
+        return True
+
+
+class BoDe(AQM):
+    """Bounded-Delay queue (Abbasloo & Chao, 2019).
+
+    Bounds the queueing delay: an arriving packet whose projected sojourn
+    time exceeds ``delay_bound`` is rejected, regardless of byte backlog.
+    """
+
+    name = "bode"
+
+    def __init__(self, capacity_bytes: int, delay_bound: float = 0.020) -> None:
+        super().__init__(capacity_bytes)
+        self.delay_bound = delay_bound
+
+    def enqueue(self, pkt: Packet, now: float) -> bool:
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            self.drops += 1
+            return False
+        projected = (self.bytes_queued + pkt.size) * 8.0 / max(
+            self.current_rate_bps, 1e3
+        )
+        if projected > self.delay_bound:
+            self.drops += 1
+            return False
+        self._admit(pkt, now)
+        return True
+
+
+_AQM_REGISTRY = {
+    "taildrop": TailDrop,
+    "tdrop": TailDrop,
+    "headdrop": HeadDrop,
+    "hdrop": HeadDrop,
+    "codel": CoDel,
+    "pie": PIE,
+    "bode": BoDe,
+}
+
+
+def make_aqm(name: str, capacity_bytes: int, **kwargs) -> AQM:
+    """Build an AQM by name (``taildrop``/``headdrop``/``codel``/``pie``/``bode``)."""
+    key = name.lower()
+    if key not in _AQM_REGISTRY:
+        raise ValueError(f"unknown AQM {name!r}; choose from {sorted(set(_AQM_REGISTRY))}")
+    return _AQM_REGISTRY[key](capacity_bytes, **kwargs)

@@ -1,0 +1,102 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)`` triples
+kept in a binary heap. The ``sequence`` counter breaks ties deterministically
+so that two events scheduled for the same instant fire in scheduling order,
+which keeps every simulation fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Cancelled(Exception):
+    """Raised internally when a cancelled event is popped (never escapes)."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; allows cancellation.
+
+    Cancellation is lazy: the heap entry stays in place but is skipped when
+    popped. This is the standard O(1)-cancel trick and matters for the many
+    retransmission timers TCP re-arms on every ACK.
+    """
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """The simulation clock and event queue.
+
+    Typical usage::
+
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: print("one second"))
+        loop.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``when``."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.now:.6f}, when={when:.6f}"
+            )
+        handle = EventHandle(when, callback)
+        heapq.heappush(self._heap, (when, next(self._seq), handle))
+        return handle
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.now + delay, callback)
+
+    def run_until(self, t_end: float) -> None:
+        """Run events with time <= ``t_end``; leaves ``now`` at ``t_end``."""
+        heap = self._heap
+        while heap and heap[0][0] <= t_end:
+            when, _, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = when
+            handle.callback()
+        self.now = max(self.now, t_end)
+
+    def run_all(self, hard_limit: float = 1e9) -> None:
+        """Drain every pending event (bounded by ``hard_limit`` sim seconds)."""
+        heap = self._heap
+        while heap:
+            when, _, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            if when > hard_limit:
+                break
+            self.now = when
+            handle.callback()
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,96 @@
+"""Mahimahi trace-file interoperability.
+
+The paper's emulator (an improved Mahimahi) drives the bottleneck from
+trace files where **each line is a millisecond timestamp at which one
+1500-byte packet may be delivered** (timestamps may repeat for multi-packet
+slots; the trace loops forever). This module converts between that format
+and :class:`~repro.netsim.traces.TraceRate`, so recorded cellular traces —
+including the originals used by the paper — plug straight into this
+simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.netsim.packet import MSS_BYTES
+from repro.netsim.traces import TraceRate
+
+
+def parse_mahimahi_lines(lines: Sequence[str]) -> List[int]:
+    """Parse trace lines into a sorted list of millisecond timestamps."""
+    stamps: List[int] = []
+    for i, raw in enumerate(lines):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            value = int(text)
+        except ValueError as exc:
+            raise ValueError(f"line {i + 1}: not a millisecond integer: {text!r}") from exc
+        if value < 0:
+            raise ValueError(f"line {i + 1}: negative timestamp {value}")
+        stamps.append(value)
+    if not stamps:
+        raise ValueError("trace contains no delivery opportunities")
+    if stamps != sorted(stamps):
+        raise ValueError("trace timestamps must be non-decreasing")
+    return stamps
+
+
+def trace_from_mahimahi(
+    source, slot: float = 0.1, packet_bytes: int = MSS_BYTES
+) -> TraceRate:
+    """Build a :class:`TraceRate` from a Mahimahi trace (path or lines).
+
+    The per-slot rate is ``opportunities_in_slot * packet_bytes * 8 / slot``.
+    """
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text().splitlines()
+    else:
+        lines = list(source)
+    stamps = parse_mahimahi_lines(lines)
+    duration_ms = stamps[-1] + 1
+    slot_ms = max(int(round(slot * 1000)), 1)
+    n_slots = (duration_ms + slot_ms - 1) // slot_ms
+    counts = np.zeros(n_slots)
+    for t in stamps:
+        counts[t // slot_ms] += 1
+    rates = counts * packet_bytes * 8.0 / (slot_ms / 1000.0)
+    return TraceRate(rates, slot=slot_ms / 1000.0)
+
+
+def mahimahi_from_rate(
+    rate_bps_per_slot: Sequence[float],
+    slot: float = 0.1,
+    packet_bytes: int = MSS_BYTES,
+) -> List[str]:
+    """Render per-slot rates as Mahimahi trace lines (inverse conversion).
+
+    Opportunities are spread evenly inside each slot; fractional packets
+    accumulate across slots so long-run rate is preserved.
+    """
+    lines: List[str] = []
+    slot_ms = max(int(round(slot * 1000)), 1)
+    carry = 0.0
+    for i, rate in enumerate(rate_bps_per_slot):
+        if rate < 0:
+            raise ValueError(f"slot {i}: negative rate")
+        pkts = rate * (slot_ms / 1000.0) / (packet_bytes * 8.0) + carry
+        n = int(pkts)
+        carry = pkts - n
+        base = i * slot_ms
+        for k in range(n):
+            lines.append(str(base + (k * slot_ms) // max(n, 1)))
+    if not lines:
+        raise ValueError("rate sequence produced an empty trace")
+    return lines
+
+
+def write_mahimahi(path, rate_bps_per_slot: Sequence[float], slot: float = 0.1) -> None:
+    """Write per-slot rates to a Mahimahi trace file."""
+    lines = mahimahi_from_rate(rate_bps_per_slot, slot=slot)
+    Path(path).write_text("\n".join(lines) + "\n")

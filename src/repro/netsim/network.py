@@ -1,0 +1,140 @@
+"""Dumbbell network wiring senders, the bottleneck, and receivers.
+
+Topology (the paper's emulation model):
+
+::
+
+    sender_1 ─┐                                    ┌─ receiver_1
+    sender_2 ─┼─> [ AQM buffer | bottleneck link ] ┼─> receiver_2
+       ...    ┘        shared, rate(t)             └─    ...
+
+Data packets from every flow share the one bottleneck; each flow then sees
+its own one-way propagation delay. ACKs return on an uncongested reverse
+path. ``min_rtt`` of a flow is split evenly between the two directions.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.netsim.aqm import AQM, TailDrop
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.traces import RateProcess
+
+
+@dataclass
+class PathConfig:
+    """Per-flow path parameters.
+
+    ``jitter`` adds a uniform random extra delay in ``[0, jitter]`` seconds
+    to each data packet's forward propagation — enough jitter reorders
+    packets, exercising the SACK machinery the way real multi-path WANs do.
+    """
+
+    min_rtt: float  # seconds, propagation round trip (no queueing)
+    jitter: float = 0.0  # seconds of uniform forward-path delay jitter
+
+    def __post_init__(self) -> None:
+        if self.min_rtt <= 0:
+            raise ValueError(f"min_rtt must be positive, got {self.min_rtt}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+    @property
+    def fwd_delay(self) -> float:
+        return self.min_rtt / 2.0
+
+    @property
+    def rev_delay(self) -> float:
+        return self.min_rtt / 2.0
+
+
+class Network:
+    """A single-bottleneck network instance shared by one or more flows.
+
+    Endpoints register callbacks per flow id:
+
+    - ``data_sink``: receiver-side, invoked when a data packet arrives.
+    - ``ack_sink``: sender-side, invoked when an ACK arrives back.
+
+    Senders inject data with :meth:`send_data`; receivers inject ACKs with
+    :meth:`send_ack`.
+    """
+
+    def __init__(
+        self, loop: EventLoop, rate: RateProcess, aqm: AQM, seed: int = 0
+    ) -> None:
+        self.loop = loop
+        self.link = Link(loop, rate, aqm, self._on_link_deliver)
+        self._jitter_rng = _random.Random(seed)
+        self._paths: Dict[int, PathConfig] = {}
+        self._data_sinks: Dict[int, Callable[[Packet], None]] = {}
+        self._ack_sinks: Dict[int, Callable[[Packet], None]] = {}
+        self.dropped_by_flow: Dict[int, int] = {}
+        self.delivered_by_flow: Dict[int, int] = {}
+
+    # -- registration ----------------------------------------------------
+    def attach_flow(
+        self,
+        flow_id: int,
+        path: PathConfig,
+        data_sink: Callable[[Packet], None],
+        ack_sink: Callable[[Packet], None],
+    ) -> None:
+        """Register a flow's path and its two delivery callbacks."""
+        if flow_id in self._paths:
+            raise ValueError(f"flow {flow_id} already attached")
+        self._paths[flow_id] = path
+        self._data_sinks[flow_id] = data_sink
+        self._ack_sinks[flow_id] = ack_sink
+        self.dropped_by_flow[flow_id] = 0
+        self.delivered_by_flow[flow_id] = 0
+
+    # -- data path ---------------------------------------------------------
+    def send_data(self, pkt: Packet) -> None:
+        """Sender entry point: offer a data packet to the bottleneck."""
+        if pkt.flow_id not in self._paths:
+            raise KeyError(f"unknown flow {pkt.flow_id}")
+        accepted = self.link.send(pkt)
+        if not accepted:
+            self.dropped_by_flow[pkt.flow_id] += 1
+
+    def _on_link_deliver(self, pkt: Packet) -> None:
+        path = self._paths[pkt.flow_id]
+        sink = self._data_sinks[pkt.flow_id]
+        self.delivered_by_flow[pkt.flow_id] += 1
+        delay = path.fwd_delay
+        if path.jitter > 0:
+            delay += self._jitter_rng.random() * path.jitter
+        self.loop.call_later(delay, lambda p=pkt: sink(p))
+
+    # -- ack path ----------------------------------------------------------
+    def send_ack(self, ack: Packet) -> None:
+        """Receiver entry point: return an ACK over the uncongested path."""
+        path = self._paths[ack.flow_id]
+        sink = self._ack_sinks[ack.flow_id]
+        self.loop.call_later(path.rev_delay, lambda p=ack: sink(p))
+
+    # -- introspection -------------------------------------------------------
+    def min_rtt(self, flow_id: int) -> float:
+        return self._paths[flow_id].min_rtt
+
+    @property
+    def queue_delay(self) -> float:
+        return self.link.queue_delay()
+
+
+def make_network(
+    rate: RateProcess,
+    buffer_bytes: int,
+    aqm: Optional[AQM] = None,
+    loop: Optional[EventLoop] = None,
+) -> Network:
+    """Convenience constructor: drop-tail dumbbell on a fresh event loop."""
+    loop = loop if loop is not None else EventLoop()
+    aqm = aqm if aqm is not None else TailDrop(buffer_bytes)
+    return Network(loop, rate, aqm)

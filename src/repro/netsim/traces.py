@@ -1,0 +1,187 @@
+"""Bottleneck capacity processes.
+
+The paper's environments vary four knobs: link capacity, minimum RTT, buffer
+size, and competing flows. The capacity side is captured here as a
+*rate process*: a callable mapping simulation time to the instantaneous
+service rate of the bottleneck in bits per second.
+
+Three families reproduce the paper's scenario classes:
+
+- :class:`FlatRate` — Set I "flat" scenarios (constant capacity).
+- :class:`StepRate` — Set I "step" scenarios (capacity multiplied by
+  ``m ∈ {0.25, 0.5, 2, 4}`` at a switch time).
+- :class:`TraceRate` + :func:`cellular_trace` — the highly-variable cellular
+  links of Section 6.1 (our synthetic substitute for the 23 recorded traces).
+
+:func:`internet_path_rate` builds the mildly-variable capacity processes used
+by the simulated GENI/AWS Internet paths (Appendix G substitute).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class RateProcess:
+    """Base class: instantaneous bottleneck rate as a function of time."""
+
+    def rate_at(self, t: float) -> float:
+        """Service rate in bits/second at simulation time ``t``."""
+        raise NotImplementedError
+
+    def mean_rate(self, t_end: float, dt: float = 0.05) -> float:
+        """Time-average of the rate over ``[0, t_end]`` (used for fair-share
+        and reward normalization)."""
+        ts = np.arange(0.0, t_end, dt)
+        return float(np.mean([self.rate_at(float(t)) for t in ts]))
+
+
+class FlatRate(RateProcess):
+    """Constant-capacity link (the paper's flat scenarios)."""
+
+    def __init__(self, rate_bps: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.rate_bps = float(rate_bps)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_bps
+
+    def mean_rate(self, t_end: float, dt: float = 0.05) -> float:
+        return self.rate_bps
+
+    def __repr__(self) -> str:
+        return f"FlatRate({self.rate_bps / 1e6:.1f}Mbps)"
+
+
+class StepRate(RateProcess):
+    """Capacity that switches from ``rate1`` to ``m * rate1`` at ``t_switch``.
+
+    Matches Appendix C.1: the step scenarios start at ``BW1`` and jump to
+    ``m × BW1`` with ``m`` drawn from ``(0.25, 0.5, 2, 4)``, capped under
+    200 Mbps.
+    """
+
+    def __init__(self, rate1_bps: float, m: float, t_switch: float) -> None:
+        if rate1_bps <= 0 or m <= 0:
+            raise ValueError("rates must be positive")
+        if t_switch < 0:
+            raise ValueError("switch time must be non-negative")
+        self.rate1_bps = float(rate1_bps)
+        self.rate2_bps = float(rate1_bps * m)
+        self.t_switch = float(t_switch)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate1_bps if t < self.t_switch else self.rate2_bps
+
+    def mean_rate(self, t_end: float, dt: float = 0.05) -> float:
+        if t_end <= self.t_switch:
+            return self.rate1_bps
+        frac1 = self.t_switch / t_end
+        return frac1 * self.rate1_bps + (1.0 - frac1) * self.rate2_bps
+
+    def __repr__(self) -> str:
+        return (
+            f"StepRate({self.rate1_bps / 1e6:.1f}->"
+            f"{self.rate2_bps / 1e6:.1f}Mbps@{self.t_switch:.0f}s)"
+        )
+
+
+class TraceRate(RateProcess):
+    """Piecewise-constant rate from per-slot samples (trace playback).
+
+    ``samples_bps[i]`` is the rate during ``[i*slot, (i+1)*slot)``; the trace
+    wraps around, mirroring how Mahimahi replays a finite trace forever.
+    """
+
+    def __init__(self, samples_bps: Sequence[float], slot: float = 0.1) -> None:
+        arr = np.asarray(samples_bps, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("trace must be a non-empty 1-D sequence")
+        if np.any(arr < 0):
+            raise ValueError("trace rates must be non-negative")
+        if slot <= 0:
+            raise ValueError("slot must be positive")
+        self.samples_bps = arr
+        self.slot = float(slot)
+
+    def rate_at(self, t: float) -> float:
+        idx = int(t / self.slot) % self.samples_bps.size
+        # Never report a truly zero rate: a zero-rate slot would stall the
+        # link-service recursion. Treat outage slots as a crawling 10 kbps.
+        return max(float(self.samples_bps[idx]), 1e4)
+
+    def mean_rate(self, t_end: float, dt: float = 0.05) -> float:
+        n_slots = max(1, int(round(t_end / self.slot)))
+        if n_slots >= self.samples_bps.size:
+            return float(np.mean(self.samples_bps))
+        return float(np.mean(self.samples_bps[:n_slots]))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRate(n={self.samples_bps.size}, "
+            f"mean={np.mean(self.samples_bps) / 1e6:.1f}Mbps)"
+        )
+
+
+def cellular_trace(
+    seed: int,
+    duration: float = 60.0,
+    slot: float = 0.1,
+    mean_mbps: float = 8.0,
+    burst_mbps: float = 24.0,
+) -> TraceRate:
+    """Synthesize a highly-variable cellular-like capacity trace.
+
+    Substitute for the 23 recorded LTE traces of [9]: a two-timescale
+    Markov-modulated process. A slow AR(1) component models user mobility /
+    cell-load drift, a fast lognormal component models per-TTI scheduling
+    jitter, and occasional deep fades model outages. Statistics (mean of a
+    few Mbps, bursts of tens of Mbps, ms-scale variability, sporadic
+    near-outage) match published cellular trace characterizations.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(round(duration / slot))
+    # Slow mobility component: AR(1) in log-rate space.
+    log_mean = np.log(mean_mbps)
+    slow = np.empty(n)
+    x = log_mean + 0.3 * rng.standard_normal()
+    for i in range(n):
+        x = 0.98 * x + 0.02 * log_mean + 0.08 * rng.standard_normal()
+        slow[i] = x
+    # Fast scheduling jitter.
+    fast = 0.35 * rng.standard_normal(n)
+    rate_mbps = np.exp(slow + fast)
+    # Occasional deep fades lasting a few slots.
+    n_fades = rng.poisson(duration / 15.0)
+    for _ in range(n_fades):
+        start = rng.integers(0, n)
+        length = rng.integers(2, 12)
+        rate_mbps[start : start + length] *= rng.uniform(0.02, 0.15)
+    rate_mbps = np.clip(rate_mbps, 0.05, burst_mbps)
+    return TraceRate(rate_mbps * 1e6, slot=slot)
+
+
+def internet_path_rate(
+    seed: int,
+    base_mbps: float,
+    duration: float = 30.0,
+    slot: float = 0.2,
+    jitter: float = 0.15,
+) -> TraceRate:
+    """Mildly-variable capacity for a simulated wide-area Internet path.
+
+    Real WAN paths show slow available-bandwidth fluctuation due to cross
+    traffic; we model it as the base rate modulated by a bounded AR(1)
+    multiplier with coefficient of variation ``jitter``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(round(duration / slot))
+    mult = np.empty(n)
+    x = 1.0
+    for i in range(n):
+        x = 0.95 * x + 0.05 * 1.0 + jitter * 0.3 * rng.standard_normal()
+        mult[i] = np.clip(x, 0.4, 1.4)
+    return TraceRate(base_mbps * 1e6 * mult, slot=slot)

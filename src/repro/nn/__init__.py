@@ -1,0 +1,51 @@
+"""Neural-network substrate: reverse-mode autograd on numpy.
+
+The paper trains Sage with TensorFlow/Acme on GPUs; offline here, we
+implement the needed subset from scratch:
+
+- :mod:`~repro.nn.autograd` — a small reverse-mode autodiff engine
+  (:class:`Tensor`) supporting broadcasting, matmul, and the nonlinear ops
+  Sage's network uses.
+- :mod:`~repro.nn.layers` — Linear, LayerNorm, activations, residual blocks,
+  and the :class:`Module` parameter-tree base.
+- :mod:`~repro.nn.gru` — the Gated Recurrent Unit (Fig. 6's memory).
+- :mod:`~repro.nn.heads` — the Gaussian-mixture policy head and the C51
+  distributional critic head.
+- :mod:`~repro.nn.optim` — Adam with global-norm gradient clipping.
+- :mod:`~repro.nn.serial` — checkpointing parameter trees to ``.npz``.
+"""
+
+from repro.nn.autograd import Tensor, as_tensor, no_grad
+from repro.nn.layers import (
+    Module,
+    Linear,
+    LayerNorm,
+    LeakyReLU,
+    Tanh,
+    Sequential,
+    ResidualBlock,
+)
+from repro.nn.gru import GRU
+from repro.nn.heads import GMMHead, DistributionalHead
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.serial import save_params, load_params
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "LeakyReLU",
+    "Tanh",
+    "Sequential",
+    "ResidualBlock",
+    "GRU",
+    "GMMHead",
+    "DistributionalHead",
+    "Adam",
+    "clip_grad_norm",
+    "save_params",
+    "load_params",
+]

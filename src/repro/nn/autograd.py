@@ -1,0 +1,359 @@
+"""A small reverse-mode automatic-differentiation engine on numpy.
+
+Design: every :class:`Tensor` wraps an ``ndarray`` and remembers the
+backward closure of the op that produced it. Calling :meth:`Tensor.backward`
+topologically sorts the graph and accumulates gradients. Broadcasting is
+supported by summing gradients over broadcast axes.
+
+Only the ops Sage's network needs are implemented — enough for Linear,
+LayerNorm, GRU, residual blocks, Gaussian-mixture log-likelihoods, and
+categorical cross-entropies.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # sum over leading axes added by broadcasting
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # sum over axes that were size-1 in the original
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Tuple["Tensor", ...] = (),
+        backward: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self._parents = parents if self.requires_grad else ()
+        self._backward = backward if self.requires_grad else None
+
+    # -- construction helpers ------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad})"
+
+    # -- graph mechanics -------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that requires no grad")
+        topo: List[Tensor] = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in visited:
+                    stack.append((p, False))
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without grad on non-scalar")
+            grad = np.ones_like(self.data)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # -- binary ops -------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(g * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(g * self.data, other.shape))
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return self * as_tensor(other).pow(-1.0)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) * self.pow(-1.0)
+
+    def pow(self, exponent: float) -> "Tensor":
+        out = Tensor(
+            self.data ** exponent,
+            requires_grad=self.requires_grad,
+            parents=(self,),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            self._accumulate(g * exponent * self.data ** (exponent - 1.0))
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ g)
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    __matmul__ = matmul
+
+    # -- unary ops ---------------------------------------------------------
+    def _unary(self, value: np.ndarray, dvalue: np.ndarray) -> "Tensor":
+        out = Tensor(value, requires_grad=self.requires_grad, parents=(self,))
+
+        def _bw(g: np.ndarray) -> None:
+            self._accumulate(g * dvalue)
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    def exp(self) -> "Tensor":
+        v = np.exp(self.data)
+        return self._unary(v, v)
+
+    def log(self) -> "Tensor":
+        return self._unary(np.log(self.data), 1.0 / self.data)
+
+    def tanh(self) -> "Tensor":
+        v = np.tanh(self.data)
+        return self._unary(v, 1.0 - v * v)
+
+    def sigmoid(self) -> "Tensor":
+        v = 1.0 / (1.0 + np.exp(-self.data))
+        return self._unary(v, v * (1.0 - v))
+
+    def leaky_relu(self, alpha: float = 0.01) -> "Tensor":
+        v = np.where(self.data > 0, self.data, alpha * self.data)
+        d = np.where(self.data > 0, 1.0, alpha)
+        return self._unary(v, d)
+
+    def sqrt(self) -> "Tensor":
+        return self.pow(0.5)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        v = np.clip(self.data, lo, hi)
+        d = ((self.data >= lo) & (self.data <= hi)).astype(np.float64)
+        return self._unary(v, d)
+
+    # -- reductions ---------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(
+            self.data.sum(axis=axis, keepdims=keepdims),
+            requires_grad=self.requires_grad,
+            parents=(self,),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            if axis is None:
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
+            else:
+                g_exp = g if keepdims else np.expand_dims(g, axis)
+                self._accumulate(np.broadcast_to(g_exp, self.shape).copy())
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            n = self.data.size
+        else:
+            n = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def max_detached(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Max treated as a constant (for log-sum-exp stabilization)."""
+        return Tensor(self.data.max(axis=axis, keepdims=keepdims))
+
+    # -- shape ops -----------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        out = Tensor(
+            self.data.reshape(*shape),
+            requires_grad=self.requires_grad,
+            parents=(self,),
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            self._accumulate(g.reshape(self.shape))
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    def __getitem__(self, key) -> "Tensor":
+        out = Tensor(
+            self.data[key], requires_grad=self.requires_grad, parents=(self,)
+        )
+
+        def _bw(g: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            full[key] = g
+            self._accumulate(full)
+
+        out._backward = _bw if out.requires_grad else None
+        return out
+
+    # -- composite numerics ----------------------------------------------
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        m = self.max_detached(axis=axis, keepdims=True)
+        shifted = self - m
+        lse = shifted.exp().sum(axis=axis, keepdims=True).log()
+        return shifted - lse
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        return self.log_softmax(axis=axis).exp()
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        m = self.max_detached(axis=axis, keepdims=True)
+        out = (self - m).exp().sum(axis=axis, keepdims=True).log() + m
+        if not keepdims:
+            out = out.reshape(
+                tuple(s for i, s in enumerate(out.shape) if i != (axis % self.ndim))
+            )
+        return out
+
+
+def as_tensor(x) -> Tensor:
+    """Wrap anything array-like as a constant Tensor (no-op for Tensors)."""
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, parents=tuple(tensors))
+
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _bw(g: np.ndarray) -> None:
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                idx = [slice(None)] * g.ndim
+                idx[axis] = slice(lo, hi)
+                t._accumulate(g[tuple(idx)])
+
+    out._backward = _bw if out.requires_grad else None
+    return out
+
+
+def stack_rows(tensors: List[Tensor]) -> Tensor:
+    """Stack same-shape tensors along a new leading axis."""
+    data = np.stack([t.data for t in tensors])
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, parents=tuple(tensors))
+
+    def _bw(g: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if t.requires_grad:
+                t._accumulate(g[i])
+
+    out._backward = _bw if out.requires_grad else None
+    return out

@@ -1,0 +1,61 @@
+"""Gated Recurrent Unit (Chung et al. 2014).
+
+Fig. 6's memory component: the GRU lets Sage's policy propagate hidden state
+across timesteps, which the ablation (Fig. 12) shows is the single most
+important architectural piece.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concat
+from repro.nn.layers import Linear, Module
+
+
+class GRU(Module):
+    """Single-layer GRU cell, unrolled step-by-step.
+
+    Gates (standard formulation)::
+
+        z = sigmoid(W_z [x, h])
+        r = sigmoid(W_r [x, h])
+        n = tanh(W_n [x, r*h])
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, in_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        self.hidden_dim = hidden_dim
+        self.wz = Linear(in_dim + hidden_dim, hidden_dim, rng)
+        self.wr = Linear(in_dim + hidden_dim, hidden_dim, rng)
+        self.wn = Linear(in_dim + hidden_dim, hidden_dim, rng)
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+    def step(self, x: Tensor, h: Tensor) -> Tensor:
+        """One timestep: (B, in_dim), (B, H) -> (B, H)."""
+        xh = concat([x, h], axis=-1)
+        z = self.wz(xh).sigmoid()
+        r = self.wr(xh).sigmoid()
+        xrh = concat([x, r * h], axis=-1)
+        n = self.wn(xrh).tanh()
+        return (1.0 - z) * n + z * h
+
+    def forward(
+        self, xs: List[Tensor], h0: Optional[Tensor] = None
+    ) -> Tuple[List[Tensor], Tensor]:
+        """Unroll over a list of per-timestep inputs (each (B, in_dim)).
+
+        Returns the list of hidden states and the final hidden state.
+        """
+        if not xs:
+            raise ValueError("empty input sequence")
+        h = h0 if h0 is not None else self.initial_state(xs[0].shape[0])
+        outs: List[Tensor] = []
+        for x in xs:
+            h = self.step(x, h)
+            outs.append(h)
+        return outs, h

@@ -1,0 +1,153 @@
+"""Layers: Module base, Linear, LayerNorm, activations, residual blocks.
+
+These are the building blocks of Sage's policy/critic network (Fig. 6):
+fully-connected encoders with LeakyReLU/tanh, LayerNorm-stabilized residual
+blocks, and a parameter-tree :class:`Module` base that the optimizer and the
+checkpointing code walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Module:
+    """Base class: a named tree of parameters.
+
+    Parameters are attributes of type :class:`Tensor` with
+    ``requires_grad=True``; submodules are attributes of type
+    :class:`Module` (or lists of them).
+    """
+
+    def parameters(self) -> List[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in params.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{p.data.shape} vs {state[name].shape}"
+                )
+            p.data = state[name].copy()
+
+    def copy_from(self, other: "Module") -> None:
+        """Hard-copy parameters (target-network sync)."""
+        self.load_state_dict(other.state_dict())
+
+    def soft_update(self, other: "Module", tau: float) -> None:
+        """Polyak averaging toward ``other``: p <- (1-tau) p + tau p_other."""
+        mine = dict(self.named_parameters())
+        theirs = dict(other.named_parameters())
+        for name, p in mine.items():
+            p.data = (1.0 - tau) * p.data + tau * theirs[name].data
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Kaiming-uniform init."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        bound = np.sqrt(6.0 / in_dim)
+        self.W = Tensor(
+            rng.uniform(-bound, bound, size=(in_dim, out_dim)), requires_grad=True
+        )
+        self.b = Tensor(np.zeros(out_dim), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.W + self.b
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis, with learned scale/shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.gamma = Tensor(np.ones(dim), requires_grad=True)
+        self.beta = Tensor(np.zeros(dim), requires_grad=True)
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        inv = (var + self.eps).pow(-0.5)
+        return centered * inv * self.gamma + self.beta
+
+
+class LeakyReLU(Module):
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.alpha)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    def __init__(self, *modules: Module) -> None:
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class ResidualBlock(Module):
+    """Pre-norm residual block (He et al. 2016 identity mappings):
+
+    ``x + Linear(LReLU(Linear(LayerNorm(x))))``
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        self.norm = LayerNorm(dim)
+        self.fc1 = Linear(dim, dim, rng)
+        self.fc2 = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.norm(x)
+        h = self.fc1(h).leaky_relu(0.01)
+        h = self.fc2(h)
+        return x + h

@@ -1,0 +1,26 @@
+"""Checkpointing: save/load a Module's parameter tree as ``.npz``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_params(module: Module, path) -> None:
+    """Write a module's state dict to a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    # npz keys cannot contain '/', dots are fine.
+    np.savez_compressed(path, **state)
+
+
+def load_params(module: Module, path) -> None:
+    """Load a state dict produced by :func:`save_params` into ``module``."""
+    with np.load(Path(path)) as data:
+        state: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
+    module.load_state_dict(state)

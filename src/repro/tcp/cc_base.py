@@ -1,0 +1,146 @@
+"""The congestion-control hook interface and the scheme registry.
+
+The interface deliberately mirrors the Linux kernel's ``tcp_congestion_ops``
+so that the 13 kernel schemes of the paper's pool translate hook-for-hook:
+
+====================  =============================================
+kernel hook           here
+====================  =============================================
+``init``              :meth:`CongestionControl.on_init`
+``cong_avoid``        :meth:`CongestionControl.on_ack`
+``ssthresh``          :meth:`CongestionControl.ssthresh`
+``pkts_acked``        rtt sample passed into :meth:`on_ack`
+``cwnd_event(LOSS)``  :meth:`CongestionControl.on_loss_event`
+``set_state(Loss)``   :meth:`CongestionControl.on_rto`
+pacing (sk_pacing)    :meth:`CongestionControl.pacing_rate`
+====================  =============================================
+
+Schemes register themselves under their kernel name via
+:func:`register_scheme`, and anything in the repo builds them through
+:func:`make_scheme` — the same way ``sysctl net.ipv4.tcp_congestion_control``
+selects a module by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.socket import TcpSender
+
+
+class CongestionControl:
+    """Base class for congestion-control schemes.
+
+    The socket owns ``cwnd`` (in packets, float) and ``ssthresh``; hooks
+    mutate them, exactly like kernel modules mutate ``tcp_sock`` fields.
+    """
+
+    #: kernel-style module name; subclasses must override.
+    name = "base"
+
+    #: floor for cwnd, in packets.
+    MIN_CWND = 2.0
+
+    #: set True to negotiate ECN: data packets carry ECT and the scheme
+    #: receives :meth:`on_ecn_ack` for every CE-echoing ACK.
+    ecn_capable = False
+
+    def on_init(self, sock: "TcpSender") -> None:
+        """Called once when the connection starts."""
+
+    def on_ack(self, sock: "TcpSender", n_acked: int, rtt: float, now: float) -> None:
+        """Called for every ACK that advances ``snd_una`` (outside recovery).
+
+        ``n_acked`` is the number of newly-acked packets and ``rtt`` the
+        fresh RTT sample in seconds (<= 0 when no valid sample, e.g. after
+        a retransmission).
+        """
+        raise NotImplementedError
+
+    def ssthresh(self, sock: "TcpSender") -> float:
+        """New slow-start threshold on a loss event (kernel ``ssthresh``)."""
+        return max(sock.cwnd / 2.0, self.MIN_CWND)
+
+    def on_loss_event(self, sock: "TcpSender", now: float) -> None:
+        """Entering fast recovery: default is the classic halving."""
+        sock.ssthresh = self.ssthresh(sock)
+        sock.cwnd = max(sock.ssthresh, self.MIN_CWND)
+
+    def on_rto(self, sock: "TcpSender", now: float) -> None:
+        """Retransmission timeout: default resets to a unit window."""
+        sock.ssthresh = self.ssthresh(sock)
+        sock.cwnd = self.MIN_CWND
+
+    def pacing_rate(self, sock: "TcpSender") -> Optional[float]:
+        """Pacing rate in bits/second, or None for ack-clocked sending."""
+        return None
+
+    def on_ecn_ack(self, sock: "TcpSender", now: float) -> None:
+        """Called once per ACK whose ECE bit is set (only if ecn_capable).
+
+        Default: classic RFC 3168 behaviour — react like a loss, at most
+        once per RTT.
+        """
+        last = getattr(self, "_last_ecn_backoff", -1.0)
+        if now - last > max(sock.srtt_or_min, 0.01):
+            self._last_ecn_backoff = now
+            self.on_loss_event(sock, now)
+
+    # -- shared helpers ----------------------------------------------------
+    def slow_start(self, sock: "TcpSender", n_acked: int) -> None:
+        """Classic slow start: +1 packet per acked packet up to ssthresh."""
+        sock.cwnd = min(sock.cwnd + n_acked, sock.ssthresh + n_acked)
+
+    def in_slow_start(self, sock: "TcpSender") -> bool:
+        return sock.cwnd < sock.ssthresh
+
+    def reno_increase(self, sock: "TcpSender", n_acked: int) -> None:
+        """AIMD congestion avoidance: +1 packet per RTT."""
+        sock.cwnd += n_acked / max(sock.cwnd, 1.0)
+
+
+_REGISTRY: Dict[str, Callable[..., CongestionControl]] = {}
+
+
+def register_scheme(cls):
+    """Class decorator: register a scheme under its kernel-style name."""
+    if not getattr(cls, "name", None) or cls.name == "base":
+        raise ValueError(f"{cls.__name__} must define a unique 'name'")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate scheme name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_scheme(name: str, **kwargs) -> CongestionControl:
+    """Instantiate a registered scheme by name."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown CC scheme {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def scheme_names() -> List[str]:
+    """Sorted names of all registered schemes."""
+    return sorted(_REGISTRY)
+
+
+#: The 13 kernel schemes forming Sage's pool of policies (Section 5).
+POOL_SCHEMES = [
+    "westwood",
+    "cubic",
+    "vegas",
+    "yeah",
+    "bbr2",
+    "newreno",
+    "illinois",
+    "veno",
+    "highspeed",
+    "cdg",
+    "htcp",
+    "bic",
+    "hybla",
+]
+
+#: The delay-based league of Section 6.3.
+DELAY_LEAGUE = ["bbr2", "copa", "c2tcp", "ledbat", "vegas", "sprout"]

@@ -1,0 +1,56 @@
+"""Re-implementations of the paper's congestion-control schemes.
+
+The 13 kernel heuristics forming Sage's pool of policies (Section 5):
+NewReno, Cubic, BIC, HighSpeed, HTCP, Hybla, Illinois, Veno, Westwood,
+YeAH, Vegas, CDG, BBR2 — plus the delay-based league of Section 6.3:
+Copa, LEDBAT, C2TCP, Sprout.
+
+Importing this package registers every scheme in the
+:mod:`repro.tcp.cc_base` registry.
+"""
+
+from repro.tcp.schemes.reno import NewReno
+from repro.tcp.schemes.cubic import Cubic
+from repro.tcp.schemes.bic import Bic
+from repro.tcp.schemes.highspeed import HighSpeed
+from repro.tcp.schemes.htcp import HTcp
+from repro.tcp.schemes.hybla import Hybla
+from repro.tcp.schemes.illinois import Illinois
+from repro.tcp.schemes.veno import Veno
+from repro.tcp.schemes.westwood import Westwood
+from repro.tcp.schemes.yeah import Yeah
+from repro.tcp.schemes.vegas import Vegas
+from repro.tcp.schemes.cdg import Cdg
+from repro.tcp.schemes.bbr2 import Bbr2
+from repro.tcp.schemes.copa import Copa
+from repro.tcp.schemes.ledbat import Ledbat
+from repro.tcp.schemes.c2tcp import C2Tcp
+from repro.tcp.schemes.sprout import Sprout
+from repro.tcp.schemes.dctcp import Dctcp
+from repro.tcp.schemes.scalable import Scalable
+from repro.tcp.schemes.compound import Compound
+from repro.tcp.schemes.lp import TcpLp
+
+__all__ = [
+    "Dctcp",
+    "Scalable",
+    "Compound",
+    "TcpLp",
+    "NewReno",
+    "Cubic",
+    "Bic",
+    "HighSpeed",
+    "HTcp",
+    "Hybla",
+    "Illinois",
+    "Veno",
+    "Westwood",
+    "Yeah",
+    "Vegas",
+    "Cdg",
+    "Bbr2",
+    "Copa",
+    "Ledbat",
+    "C2Tcp",
+    "Sprout",
+]

@@ -1,0 +1,156 @@
+"""BBRv2 (Cardwell et al. — Google v2alpha release, 2019).
+
+A model-based scheme: estimates the path's bottleneck bandwidth (windowed
+max of delivery-rate samples) and propagation RTT (windowed min), then paces
+at ``pacing_gain × BtlBw`` with inflight capped near the BDP. The v2
+additions modeled here: loss caps the ``inflight_hi`` headroom, and the
+PROBE_BW cycle uses the v2 up/down/cruise structure.
+
+State machine: STARTUP → DRAIN → PROBE_BW (cycling), with periodic
+PROBE_RTT dips to refresh the min-RTT estimate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+STARTUP = 0
+DRAIN = 1
+PROBE_BW = 2
+PROBE_RTT = 3
+
+#: PROBE_BW pacing-gain cycle (v2: one up, one down, then cruise).
+_CYCLE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+@register_scheme
+class Bbr2(CongestionControl):
+    """Bottleneck Bandwidth and RTT, version 2 (simplified)."""
+
+    name = "bbr2"
+
+    STARTUP_GAIN = 2.77  # 2/ln(2)
+    DRAIN_GAIN = 1.0 / 2.77
+    CWND_GAIN = 2.0
+    BW_WINDOW_RTTS = 10
+    MIN_RTT_WINDOW = 10.0  # seconds
+    PROBE_RTT_DURATION = 0.2  # seconds
+    BETA = 0.7  # v2 inflight_hi reduction on loss
+
+    def __init__(self) -> None:
+        self.state = STARTUP
+        # Monotonic deque for the windowed-max bandwidth filter: entries are
+        # (time, bps) with strictly decreasing bps; the front is the max.
+        self.bw_samples: deque = deque()
+        self.max_bw = 0.0
+        self.min_rtt = float("inf")
+        self.min_rtt_stamp = 0.0
+        self.full_bw = 0.0
+        self.full_bw_count = 0
+        self.filled_pipe = False
+        self.cycle_index = 0
+        self.cycle_stamp = 0.0
+        self.probe_rtt_done_stamp = -1.0
+        self.inflight_hi = float("inf")
+        self.pacing_gain = self.STARTUP_GAIN
+
+    # ------------------------------------------------------------------
+    def on_init(self, sock) -> None:
+        sock.cwnd = 10.0
+
+    def _update_model(self, sock, rtt: float, now: float) -> None:
+        if sock.delivery_rate > 0:
+            bw = sock.delivery_rate
+            samples = self.bw_samples
+            while samples and samples[-1][1] <= bw:
+                samples.pop()
+            samples.append((now, bw))
+            window = self.BW_WINDOW_RTTS * max(self.min_rtt, 0.01)
+            cutoff = now - max(window, 0.1)
+            while samples and samples[0][0] < cutoff:
+                samples.popleft()
+            self.max_bw = samples[0][1] if samples else bw
+        if rtt > 0 and (
+            rtt <= self.min_rtt or now - self.min_rtt_stamp > self.MIN_RTT_WINDOW
+        ):
+            self.min_rtt = rtt
+            self.min_rtt_stamp = now
+
+    def _bdp_pkts(self) -> float:
+        if self.max_bw <= 0 or self.min_rtt == float("inf"):
+            return 10.0
+        return self.max_bw * self.min_rtt / (8.0 * MSS_BYTES)
+
+    def _check_full_pipe(self) -> None:
+        if self.filled_pipe:
+            return
+        if self.max_bw >= self.full_bw * 1.25:
+            self.full_bw = self.max_bw
+            self.full_bw_count = 0
+            return
+        self.full_bw_count += 1
+        if self.full_bw_count >= 3:
+            self.filled_pipe = True
+
+    def _advance_cycle(self, now: float) -> None:
+        if now - self.cycle_stamp > max(self.min_rtt, 0.01):
+            self.cycle_index = (self.cycle_index + 1) % len(_CYCLE_GAINS)
+            self.cycle_stamp = now
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        self._update_model(sock, rtt, now)
+
+        if self.state == STARTUP:
+            self.pacing_gain = self.STARTUP_GAIN
+            self._check_full_pipe()
+            if self.filled_pipe:
+                self.state = DRAIN
+        if self.state == DRAIN:
+            self.pacing_gain = self.DRAIN_GAIN
+            if sock.inflight <= self._bdp_pkts():
+                self.state = PROBE_BW
+                self.cycle_stamp = now
+        if self.state == PROBE_BW:
+            self._advance_cycle(now)
+            self.pacing_gain = _CYCLE_GAINS[self.cycle_index]
+            # Periodic PROBE_RTT: if min_rtt is stale, dip inflight.
+            if now - self.min_rtt_stamp > self.MIN_RTT_WINDOW:
+                self.state = PROBE_RTT
+                self.probe_rtt_done_stamp = now + self.PROBE_RTT_DURATION
+        if self.state == PROBE_RTT:
+            self.pacing_gain = 1.0
+            sock.cwnd = max(4.0, self.MIN_CWND)
+            if now >= self.probe_rtt_done_stamp:
+                self.min_rtt_stamp = now
+                self.state = PROBE_BW if self.filled_pipe else STARTUP
+            return
+
+        bdp = self._bdp_pkts()
+        if self.state == STARTUP:
+            target = self.CWND_GAIN * self.STARTUP_GAIN * bdp
+            sock.cwnd = max(sock.cwnd, min(sock.cwnd + n_acked, target))
+            if sock.cwnd < 2 * bdp:
+                sock.cwnd += n_acked
+        else:
+            target = self.CWND_GAIN * bdp
+            target = min(target, self.inflight_hi)
+            sock.cwnd = max(min(target, sock.cwnd + n_acked), 4.0)
+
+    def pacing_rate(self, sock):
+        if self.max_bw <= 0:
+            return None  # ack-clocked until the first bandwidth sample
+        return max(self.pacing_gain * self.max_bw, 1e4)
+
+    # -- loss handling (v2) ---------------------------------------------
+    def on_loss_event(self, sock, now: float) -> None:
+        # v2: reduce the inflight headroom rather than collapsing the window.
+        self.inflight_hi = max(sock.inflight * self.BETA, 4.0)
+        sock.cwnd = max(sock.cwnd * self.BETA, 4.0)
+        sock.ssthresh = sock.cwnd
+
+    def on_rto(self, sock, now: float) -> None:
+        self.inflight_hi = max(self._bdp_pkts(), 4.0)
+        sock.cwnd = 4.0

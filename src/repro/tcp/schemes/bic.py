@@ -1,0 +1,55 @@
+"""BIC-TCP (Xu, Harfoush, Rhee — INFOCOM 2004).
+
+Binary-search window increase: after a loss, the window binary-searches
+between the last saturation point ``W_max`` and the current window, capped
+by ``S_max`` per RTT (additive phase) with a ``max probing`` phase beyond
+``W_max``. Predecessor of Cubic and one of the 13 pool schemes.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Bic(CongestionControl):
+    """Binary increase congestion control."""
+
+    name = "bic"
+
+    S_MAX = 16.0  # max increment per RTT (packets)
+    S_MIN = 0.01  # min increment per RTT
+    BETA = 0.8  # multiplicative decrease factor
+    LOW_WINDOW = 14.0  # below this, behave like Reno
+
+    def __init__(self) -> None:
+        self.w_max = 0.0
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        cwnd = sock.cwnd
+        if cwnd < self.LOW_WINDOW or self.w_max <= 0:
+            inc = 1.0
+        elif cwnd < self.w_max:
+            dist = (self.w_max - cwnd) / 2.0
+            inc = min(max(dist, self.S_MIN), self.S_MAX)
+        else:
+            # max probing: slow near w_max, accelerating beyond it
+            dist = cwnd - self.w_max
+            if dist < self.S_MAX:
+                inc = max(dist / 2.0, self.S_MIN) if dist > 0 else self.S_MIN
+            else:
+                inc = self.S_MAX
+        sock.cwnd += inc * n_acked / max(cwnd, 1.0)
+
+    def ssthresh(self, sock) -> float:
+        if sock.cwnd < self.w_max:
+            # fast convergence
+            self.w_max = sock.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = sock.cwnd
+        if sock.cwnd < self.LOW_WINDOW:
+            return max(sock.cwnd / 2.0, self.MIN_CWND)
+        return max(sock.cwnd * self.BETA, self.MIN_CWND)

@@ -1,0 +1,59 @@
+"""C2TCP (Abbasloo, Li, Xu, Chao — IFIP Networking 2018 / JSAC 2019).
+
+Cellular Controlled-delay TCP: wraps a loss-based scheme (Cubic here, as in
+the paper) with an RTT *setpoint* ``target = k × minRTT``. While the
+smoothed condition signal stays under the setpoint the underlying scheme
+runs untouched; when delay exceeds it, the window is cut toward the
+delay-feasible operating point, bounding latency on highly-variable links.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+from repro.tcp.schemes.cubic import Cubic
+
+
+@register_scheme
+class C2Tcp(CongestionControl):
+    """Delay-setpoint wrapper around Cubic."""
+
+    name = "c2tcp"
+
+    K_TARGET = 1.6  # setpoint multiplier over minRTT
+    ALPHA = 0.5  # window cut factor when over the setpoint
+
+    def __init__(self) -> None:
+        self.inner = Cubic()
+        self.min_rtt = float("inf")
+        self._last_cut = 0.0
+
+    def on_init(self, sock) -> None:
+        self.inner.on_init(sock)
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.min_rtt = min(self.min_rtt, rtt)
+        target = self.K_TARGET * self.min_rtt
+        if (
+            rtt > 0
+            and self.min_rtt < float("inf")
+            and rtt > target
+            and now - self._last_cut > max(sock.srtt_or_min, 0.01)
+        ):
+            # Condition violated: cut toward the delay-feasible window.
+            feasible = sock.cwnd * self.min_rtt / rtt
+            sock.cwnd = max(
+                min(sock.cwnd * self.ALPHA + feasible * (1 - self.ALPHA), sock.cwnd),
+                self.MIN_CWND,
+            )
+            sock.ssthresh = sock.cwnd
+            self.inner.ssthresh(sock)  # re-anchor cubic's epoch
+            self._last_cut = now
+            return
+        self.inner.on_ack(sock, n_acked, rtt, now)
+
+    def ssthresh(self, sock) -> float:
+        return self.inner.ssthresh(sock)
+
+    def on_rto(self, sock, now: float) -> None:
+        self.inner.on_rto(sock, now)

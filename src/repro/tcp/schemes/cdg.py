@@ -1,0 +1,83 @@
+"""CAIA Delay-Gradient TCP (Hayes & Armitage — Networking 2011).
+
+Backs off probabilistically when the *gradient* of the RTT envelope is
+positive: ``P[backoff] = 1 - exp(-g / G)``. A shadow window remembers what
+Reno would have done, so losses that are *not* delay-congestion-related do
+not crater the rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Cdg(CongestionControl):
+    """Delay-gradient congestion control."""
+
+    name = "cdg"
+
+    G = 3.0  # gradient scale (in milliseconds of RTT change per RTT)
+    BETA = 0.7  # multiplicative backoff factor
+    SMOOTH = 8.0  # moving-average window for gradients
+
+    def __init__(self) -> None:
+        self.rtt_min_prev = float("inf")
+        self.rtt_max_prev = 0.0
+        self.rtt_min_cycle = float("inf")
+        self.rtt_max_cycle = 0.0
+        self.g_min_avg = 0.0
+        self.g_max_avg = 0.0
+        self.shadow_wnd = 0.0
+        self._acks_in_rtt = 0.0
+        self._rng_state = 0x9E3779B9
+
+    def _rand(self) -> float:
+        self._rng_state = (1103515245 * self._rng_state + 12345) & 0x7FFFFFFF
+        return self._rng_state / 0x7FFFFFFF
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.rtt_min_cycle = min(self.rtt_min_cycle, rtt)
+            self.rtt_max_cycle = max(self.rtt_max_cycle, rtt)
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            self.shadow_wnd = max(self.shadow_wnd, sock.cwnd)
+            return
+        self._acks_in_rtt += n_acked
+        if self._acks_in_rtt >= sock.cwnd:
+            self._per_rtt(sock)
+            self._acks_in_rtt = 0.0
+        self.reno_increase(sock, n_acked)
+        self.shadow_wnd += n_acked / max(self.shadow_wnd, 1.0)
+
+    def _per_rtt(self, sock) -> None:
+        if self.rtt_min_cycle == float("inf"):
+            return
+        if self.rtt_min_prev != float("inf"):
+            g_min = (self.rtt_min_cycle - self.rtt_min_prev) * 1000.0  # ms
+            g_max = (self.rtt_max_cycle - self.rtt_max_prev) * 1000.0
+            self.g_min_avg += (g_min - self.g_min_avg) / self.SMOOTH
+            self.g_max_avg += (g_max - self.g_max_avg) / self.SMOOTH
+            g = max(self.g_min_avg, self.g_max_avg)
+            if g > 0:
+                p_backoff = 1.0 - math.exp(-g / self.G)
+                if self._rand() < p_backoff:
+                    self.shadow_wnd = max(self.shadow_wnd, sock.cwnd)
+                    sock.cwnd = max(sock.cwnd * self.BETA, self.MIN_CWND)
+                    sock.ssthresh = sock.cwnd
+                    self.g_min_avg = 0.0
+                    self.g_max_avg = 0.0
+        self.rtt_min_prev = self.rtt_min_cycle
+        self.rtt_max_prev = self.rtt_max_cycle
+        self.rtt_min_cycle = float("inf")
+        self.rtt_max_cycle = 0.0
+
+    def ssthresh(self, sock) -> float:
+        # Loss: fall back to the shadow window if delay gradients were benign,
+        # so random losses don't starve the flow.
+        target = max(self.shadow_wnd, sock.cwnd) * 0.5
+        self.shadow_wnd = target
+        return max(target, self.MIN_CWND)

@@ -1,0 +1,81 @@
+"""Compound TCP (Tan et al. — INFOCOM 2006; Windows' default for years).
+
+Maintains two windows: the classic loss-based AIMD window and a
+*delay-based* window ``dwnd`` that grows binomially while the Vegas-style
+backlog estimate stays under ``gamma`` and drains when queueing appears.
+The send window is their sum — aggressive on empty high-BDP paths, Reno-like
+once the buffer fills.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Compound(CongestionControl):
+    """Loss window + delay window (CTCP)."""
+
+    name = "compound"
+
+    ALPHA = 0.125  # binomial increase coefficient
+    K = 0.75  # binomial exponent
+    ETA = 1.0  # dwnd drain rate per backlogged packet
+    GAMMA = 30.0  # backlog threshold, packets
+    BETA = 0.5  # loss-window decrease
+
+    def __init__(self) -> None:
+        self.base_rtt = float("inf")
+        self.lwnd = 10.0  # loss-based component
+        self.dwnd = 0.0  # delay-based component
+        self._acks_in_rtt = 0.0
+        self.min_rtt_cycle = float("inf")
+
+    def on_init(self, sock) -> None:
+        self.lwnd = sock.cwnd
+
+    def _sync(self, sock) -> None:
+        sock.cwnd = max(self.lwnd + self.dwnd, self.MIN_CWND)
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.min_rtt_cycle = min(self.min_rtt_cycle, rtt)
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            self.lwnd = sock.cwnd
+            return
+        # loss component: plain Reno
+        self.lwnd += n_acked / max(self.lwnd + self.dwnd, 1.0)
+        # delay component: once per RTT
+        self._acks_in_rtt += n_acked
+        if self._acks_in_rtt >= sock.cwnd:
+            self._acks_in_rtt = 0.0
+            rtt_c = self.min_rtt_cycle
+            self.min_rtt_cycle = float("inf")
+            if rtt_c != float("inf") and self.base_rtt != float("inf"):
+                wnd = self.lwnd + self.dwnd
+                expected = wnd / self.base_rtt
+                actual = wnd / max(rtt_c, 1e-6)
+                diff = (expected - actual) * self.base_rtt
+                if diff < self.GAMMA:
+                    self.dwnd += max(self.ALPHA * (wnd ** self.K) - 1.0, 0.0)
+                else:
+                    self.dwnd = max(self.dwnd - self.ETA * diff, 0.0)
+        self._sync(sock)
+
+    def ssthresh(self, sock) -> float:
+        self.lwnd = max(self.lwnd * self.BETA, self.MIN_CWND)
+        self.dwnd = max(sock.cwnd * (1.0 - self.BETA) - self.lwnd, 0.0) / 2.0
+        return max(self.lwnd + self.dwnd, self.MIN_CWND)
+
+    def on_loss_event(self, sock, now: float) -> None:
+        sock.ssthresh = self.ssthresh(sock)
+        self._sync(sock)
+        sock.cwnd = max(sock.ssthresh, self.MIN_CWND)
+
+    def on_rto(self, sock, now: float) -> None:
+        self.lwnd = self.MIN_CWND
+        self.dwnd = 0.0
+        sock.ssthresh = max(sock.cwnd / 2.0, self.MIN_CWND)
+        sock.cwnd = self.MIN_CWND

@@ -1,0 +1,103 @@
+"""Copa (Arun & Balakrishnan — NSDI 2018).
+
+Targets the rate ``λ = 1 / (δ · d_q)`` where ``d_q`` is the measured
+queueing delay. The window moves toward the target by ``v/(δ·cwnd)`` per
+ACK, with velocity ``v`` doubling while the direction is consistent.
+Default mode uses δ = 0.5; a TCP-competitive mode shrinks δ when buffer
+filling by loss-based flows is detected (delay oscillations absent).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Copa(CongestionControl):
+    """Practical delay-based CC with velocity and mode switching."""
+
+    name = "copa"
+
+    DELTA_DEFAULT = 0.5
+
+    def __init__(self) -> None:
+        self.delta = self.DELTA_DEFAULT
+        self.velocity = 1.0
+        self.direction_up = True
+        self.rtt_min = float("inf")
+        self.rtt_standing = float("inf")  # min over srtt/2 window
+        # Monotonic deque of (time, rtt) with increasing rtt; front is the min.
+        self._standing_window: deque = deque()
+        self._last_update = 0.0
+        self._prev_cwnd = 0.0
+        self.competitive_mode = False
+        self._loss_free_rtts = 0.0
+        self._nearly_empty_seen = False
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.rtt_min = min(self.rtt_min, rtt)
+            window = max(sock.srtt_or_min / 2.0, 0.005)
+            sw = self._standing_window
+            while sw and sw[-1][1] >= rtt:
+                sw.pop()
+            sw.append((now, rtt))
+            while sw and sw[0][0] < now - window:
+                sw.popleft()
+            self.rtt_standing = sw[0][1] if sw else rtt
+
+        if self.rtt_min == float("inf") or self.rtt_standing == float("inf"):
+            sock.cwnd += n_acked  # startup: slow-start-like
+            return
+
+        d_q = max(self.rtt_standing - self.rtt_min, 1e-4)
+        # Mode detection: if the queue never nearly empties over 5 RTTs,
+        # a buffer-filling competitor is present -> competitive mode.
+        if d_q < 0.1 * max(self.rtt_min, 1e-3):
+            self._nearly_empty_seen = True
+        self._loss_free_rtts += n_acked / max(sock.cwnd, 1.0)
+        if self._loss_free_rtts >= 5.0:
+            self.competitive_mode = not self._nearly_empty_seen
+            self._nearly_empty_seen = False
+            self._loss_free_rtts = 0.0
+        if self.competitive_mode:
+            # behave like AIMD: delta = 1/(2 * estimated competing windows)
+            self.delta = max(self.delta / 2.0, 0.02)
+        else:
+            self.delta = self.DELTA_DEFAULT
+
+        target_rate = 1.0 / (self.delta * d_q)  # packets per second
+        current_rate = sock.cwnd / max(self.rtt_standing, 1e-4)
+
+        # velocity: doubles if direction unchanged for one RTT
+        if now - self._last_update > max(sock.srtt_or_min, 0.01):
+            going_up = sock.cwnd > self._prev_cwnd
+            if going_up == self.direction_up:
+                self.velocity = min(self.velocity * 2.0, 1e4)
+            else:
+                self.velocity = 1.0
+                self.direction_up = going_up
+            self._prev_cwnd = sock.cwnd
+            self._last_update = now
+
+        step = self.velocity * n_acked / (self.delta * max(sock.cwnd, 1.0))
+        if current_rate < target_rate:
+            sock.cwnd += step
+        else:
+            sock.cwnd = max(sock.cwnd - step, self.MIN_CWND)
+
+    def ssthresh(self, sock) -> float:
+        # Copa reacts to loss only mildly (it is delay-driven).
+        self._nearly_empty_seen = True  # a loss means buffers overflowed
+        return max(sock.cwnd / 2.0, self.MIN_CWND)
+
+    def pacing_rate(self, sock):
+        # Pace at 2x cwnd/RTT to avoid bursts (as in the Copa paper).
+        rtt = sock.srtt_or_min
+        if rtt <= 0:
+            return None
+        from repro.netsim.packet import MSS_BYTES
+
+        return 2.0 * sock.cwnd * MSS_BYTES * 8.0 / rtt

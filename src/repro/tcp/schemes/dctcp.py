@@ -1,0 +1,60 @@
+"""DCTCP (Alizadeh et al. — SIGCOMM 2010).
+
+Data Center TCP: the switch CE-marks packets past a shallow threshold, the
+receiver echoes marks exactly, and the sender cuts its window in proportion
+to the *fraction* of marked packets::
+
+    alpha <- (1 - g) alpha + g F         (F = marked fraction per window)
+    cwnd  <- cwnd (1 - alpha / 2)        (once per window with any marks)
+
+Cited in the paper's Appendix A as the canonical single-authority
+(datacenter) design; here it also exercises the emulator's ECN path. Use
+with an ECN-enabled queue, e.g. ``TailDrop(cap, ecn_threshold_bytes=K)``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Dctcp(CongestionControl):
+    """Proportional ECN reaction for low-latency datacenter transport."""
+
+    name = "dctcp"
+    ecn_capable = True
+
+    G = 1.0 / 16.0  # alpha gain (kernel default)
+
+    def __init__(self) -> None:
+        self.alpha = 1.0  # start conservative, like the kernel
+        self._acks_in_window = 0
+        self._marks_in_window = 0
+        self._window_acks_target = 10.0
+        self._cut_pending = False
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        self._acks_in_window += n_acked
+        if self._acks_in_window >= max(sock.cwnd, 1.0):
+            # one observation window (~ one RTT of ACKs) completed
+            frac = self._marks_in_window / max(self._acks_in_window, 1)
+            self.alpha = (1.0 - self.G) * self.alpha + self.G * frac
+            if self._marks_in_window > 0:
+                sock.cwnd = max(
+                    sock.cwnd * (1.0 - self.alpha / 2.0), self.MIN_CWND
+                )
+                sock.ssthresh = sock.cwnd
+            self._acks_in_window = 0
+            self._marks_in_window = 0
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+        else:
+            self.reno_increase(sock, n_acked)
+
+    def on_ecn_ack(self, sock, now: float) -> None:
+        # exact per-packet echo; the cut happens at window boundaries
+        self._marks_in_window += 1
+
+    def ssthresh(self, sock) -> float:
+        # packet loss still halves, as in the kernel implementation
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

@@ -1,0 +1,58 @@
+"""HighSpeed TCP (Floyd — RFC 3649).
+
+For large windows, the per-RTT increase ``a(w)`` grows and the decrease
+factor ``b(w)`` shrinks with the window, interpolated logarithmically
+between (W=38, a=1, b=0.5) and (W=83000, a=72, b=0.1). Below W=38 it is
+plain Reno.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+_LOW_WINDOW = 38.0
+_HIGH_WINDOW = 83000.0
+_HIGH_P = 1e-7
+_LOW_B = 0.5
+_HIGH_B = 0.1
+_LOG_RATIO = math.log(_HIGH_WINDOW) - math.log(_LOW_WINDOW)
+
+
+def hstcp_b(w: float) -> float:
+    """RFC 3649 decrease factor b(w)."""
+    if w <= _LOW_WINDOW:
+        return _LOW_B
+    frac = (math.log(min(w, _HIGH_WINDOW)) - math.log(_LOW_WINDOW)) / _LOG_RATIO
+    return _LOW_B + (_HIGH_B - _LOW_B) * frac
+
+
+def hstcp_a(w: float) -> float:
+    """RFC 3649 increase a(w), derived from the response function.
+
+    ``a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))`` with
+    ``p(w) = 0.078 / w^1.2``.
+    """
+    if w <= _LOW_WINDOW:
+        return 1.0
+    b = hstcp_b(w)
+    p = 0.078 / (w ** 1.2)
+    return max(w * w * p * 2.0 * b / (2.0 - b), 1.0)
+
+
+@register_scheme
+class HighSpeed(CongestionControl):
+    """HighSpeed TCP for large congestion windows."""
+
+    name = "highspeed"
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        sock.cwnd += hstcp_a(sock.cwnd) * n_acked / max(sock.cwnd, 1.0)
+
+    def ssthresh(self, sock) -> float:
+        b = hstcp_b(sock.cwnd)
+        return max(sock.cwnd * (1.0 - b), self.MIN_CWND)

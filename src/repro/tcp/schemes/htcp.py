@@ -1,0 +1,61 @@
+"""H-TCP (Leith & Shorten — PFLDnet 2004).
+
+The increase factor is a function of the *elapsed time since the last
+loss* ``Δ``: Reno-like for the first second, then
+``α(Δ) = 1 + 10(Δ-1) + ((Δ-1)/2)^2``. The decrease factor adapts to the
+ratio of minimum to maximum RTT, bounded to [0.5, 0.8].
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class HTcp(CongestionControl):
+    """H-TCP for high-speed, long-distance networks."""
+
+    name = "htcp"
+
+    DELTA_L = 1.0  # seconds of Reno behaviour after a loss
+    BETA_MIN = 0.5
+    BETA_MAX = 0.8
+
+    def __init__(self) -> None:
+        self.last_loss_time = 0.0
+        self.rtt_min = float("inf")
+        self.rtt_max = 0.0
+
+    def on_init(self, sock) -> None:
+        self.last_loss_time = 0.0
+
+    def _alpha(self, now: float) -> float:
+        delta = now - self.last_loss_time
+        if delta <= self.DELTA_L:
+            return 1.0
+        d = delta - self.DELTA_L
+        return 1.0 + 10.0 * d + 0.25 * d * d
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.rtt_min = min(self.rtt_min, rtt)
+            self.rtt_max = max(self.rtt_max, rtt)
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        sock.cwnd += self._alpha(now) * n_acked / max(sock.cwnd, 1.0)
+
+    def ssthresh(self, sock) -> float:
+        if self.rtt_max > 0 and self.rtt_min < float("inf"):
+            beta = self.rtt_min / self.rtt_max
+        else:
+            beta = self.BETA_MIN
+        beta = min(max(beta, self.BETA_MIN), self.BETA_MAX)
+        self.last_loss_time = 0.0  # re-anchored on the next ack clockstep
+        return max(sock.cwnd * beta, self.MIN_CWND)
+
+    def on_loss_event(self, sock, now: float) -> None:
+        super().on_loss_event(sock, now)
+        self.last_loss_time = now
+        # RTT extremes decay so beta tracks the current path
+        self.rtt_max *= 0.95

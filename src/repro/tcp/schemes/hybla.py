@@ -1,0 +1,37 @@
+"""TCP Hybla (Caini & Firrincieli — Int. J. Satellite Comm. 2004).
+
+Equalizes the window growth of long-RTT (e.g. satellite) connections to a
+reference 25 ms connection: with ``ρ = RTT / RTT0``, slow start adds
+``2^ρ - 1`` packets per ACK and congestion avoidance ``ρ² / cwnd``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Hybla(CongestionControl):
+    """RTT-compensated AIMD for large-latency paths."""
+
+    name = "hybla"
+
+    RTT0 = 0.025  # reference round-trip time, seconds
+    RHO_MAX = 8.0  # safety cap on the equalization factor
+    SS_INC_MAX = 8.0  # cap on the per-ACK slow-start increment
+
+    def __init__(self) -> None:
+        self.rho = 1.0
+
+    def _update_rho(self, sock) -> None:
+        rtt = sock.srtt_or_min
+        if rtt > 0:
+            self.rho = min(max(rtt / self.RTT0, 1.0), self.RHO_MAX)
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        self._update_rho(sock)
+        if self.in_slow_start(sock):
+            inc = min((2.0 ** self.rho) - 1.0, self.SS_INC_MAX)
+            sock.cwnd = min(sock.cwnd + inc * n_acked, sock.ssthresh + inc * n_acked)
+        else:
+            sock.cwnd += (self.rho * self.rho) * n_acked / max(sock.cwnd, 1.0)

@@ -1,0 +1,77 @@
+"""TCP-Illinois (Liu, Başar, Srikant — Performance Evaluation 2008).
+
+A loss-*and*-delay scheme: losses still trigger backoff, but the AIMD
+parameters are continuous functions of the average queueing delay ``da``:
+the increase ``α`` falls from ``α_max`` (10) when the queue is empty to
+``α_min`` (0.3) when it is full, and the decrease ``β`` rises from 1/8 to
+1/2. Curve shapes follow the paper's ``α = κ1/(κ2 + da)`` family.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Illinois(CongestionControl):
+    """Loss+delay AIMD with delay-adaptive parameters."""
+
+    name = "illinois"
+
+    ALPHA_MAX = 10.0
+    ALPHA_MIN = 0.3
+    BETA_MIN = 0.125
+    BETA_MAX = 0.5
+    WIN_THRESH = 15.0  # below this window, plain Reno
+
+    def __init__(self) -> None:
+        self.base_rtt = float("inf")
+        self.max_rtt = 0.0
+        self.sum_rtt = 0.0
+        self.cnt_rtt = 0
+        self.alpha = 1.0
+        self.beta = self.BETA_MAX
+
+    def _update_params(self, sock) -> None:
+        if self.cnt_rtt == 0 or sock.cwnd < self.WIN_THRESH:
+            self.alpha, self.beta = 1.0, self.BETA_MAX
+            return
+        avg_rtt = self.sum_rtt / self.cnt_rtt
+        da = max(avg_rtt - self.base_rtt, 0.0)
+        dm = max(self.max_rtt - self.base_rtt, 1e-6)
+        # alpha = alpha_max at da <= dm/100, hyperbolic decay to alpha_min at dm
+        d1 = dm / 100.0
+        if da <= d1:
+            self.alpha = self.ALPHA_MAX
+        else:
+            k2 = (dm - d1) / (self.ALPHA_MAX / self.ALPHA_MIN - 1.0)
+            k1 = self.ALPHA_MAX * k2
+            self.alpha = max(k1 / (k2 + (da - d1)), self.ALPHA_MIN)
+        # beta: linear from BETA_MIN at da <= 0.1 dm to BETA_MAX at 0.8 dm
+        d2, d3 = 0.1 * dm, 0.8 * dm
+        if da <= d2:
+            self.beta = self.BETA_MIN
+        elif da >= d3:
+            self.beta = self.BETA_MAX
+        else:
+            self.beta = self.BETA_MIN + (self.BETA_MAX - self.BETA_MIN) * (
+                (da - d2) / (d3 - d2)
+            )
+        self.sum_rtt = 0.0
+        self.cnt_rtt = 0
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.max_rtt = max(self.max_rtt, rtt)
+            self.sum_rtt += rtt
+            self.cnt_rtt += 1
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        if self.cnt_rtt >= max(sock.cwnd / 2.0, 2.0):
+            self._update_params(sock)
+        sock.cwnd += self.alpha * n_acked / max(sock.cwnd, 1.0)
+
+    def ssthresh(self, sock) -> float:
+        return max(sock.cwnd * (1.0 - self.beta), self.MIN_CWND)

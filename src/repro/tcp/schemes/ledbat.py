@@ -1,0 +1,37 @@
+"""LEDBAT (Rossi et al. — ICCCN 2010; RFC 6817).
+
+Low Extra Delay Background Transport: a scavenger protocol that keeps the
+*extra* one-way delay it induces at a fixed ``TARGET`` (100 ms in the RFC;
+we use the RFC value). The window moves proportionally to the gap between
+the target and the measured queueing delay, and halves on loss. By design
+it yields to any loss-based flow — the paper's Set II shows exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Ledbat(CongestionControl):
+    """Delay-target scavenger congestion control."""
+
+    name = "ledbat"
+
+    TARGET = 0.100  # seconds of allowed self-induced queueing delay
+    GAIN = 1.0
+
+    def __init__(self) -> None:
+        self.base_delay = float("inf")
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt <= 0:
+            return
+        self.base_delay = min(self.base_delay, rtt)
+        queuing = max(rtt - self.base_delay, 0.0)
+        off_target = (self.TARGET - queuing) / self.TARGET
+        sock.cwnd += self.GAIN * off_target * n_acked / max(sock.cwnd, 1.0)
+        sock.cwnd = max(sock.cwnd, self.MIN_CWND)
+
+    def ssthresh(self, sock) -> float:
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

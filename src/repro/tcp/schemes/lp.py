@@ -1,0 +1,61 @@
+"""TCP-LP (Kuzmanovic & Knightly — INFOCOM 2003).
+
+"Low Priority" TCP: a scavenger that infers *early* congestion from one-way
+delay crossing a threshold inside the [min, max] observed range, and then
+yields — halving once and backing off to minimum if congestion persists
+through an inference phase. LEDBAT's spiritual ancestor, included in the
+Linux kernel as ``lp``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class TcpLp(CongestionControl):
+    """Delay-threshold scavenger (kernel ``tcp_lp``)."""
+
+    name = "lp"
+
+    DELTA = 0.15  # threshold position within [min, max] delay range
+    INFERENCE_RTTS = 3.0  # how long congestion must persist before yielding
+
+    def __init__(self) -> None:
+        self.owd_min = float("inf")
+        self.owd_max = 0.0
+        self._congested_since = -1.0
+        self._last_backoff = -1.0
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            # one-way delay proxied by RTT (symmetric reverse path here)
+            self.owd_min = min(self.owd_min, rtt)
+            self.owd_max = max(self.owd_max, rtt)
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        threshold = self.owd_min + self.DELTA * (self.owd_max - self.owd_min)
+        congested = (
+            rtt > 0
+            and self.owd_max > self.owd_min
+            and rtt > threshold
+        )
+        if congested:
+            if self._congested_since < 0:
+                self._congested_since = now
+            persist = now - self._congested_since
+            inference = self.INFERENCE_RTTS * max(sock.srtt_or_min, 0.01)
+            if persist > inference:
+                # sustained cross-traffic: get out of the way entirely
+                sock.cwnd = self.MIN_CWND
+                sock.ssthresh = self.MIN_CWND
+            elif now - self._last_backoff > max(sock.srtt_or_min, 0.01):
+                sock.cwnd = max(sock.cwnd / 2.0, self.MIN_CWND)
+                self._last_backoff = now
+        else:
+            self._congested_since = -1.0
+            self.reno_increase(sock, n_acked)
+
+    def ssthresh(self, sock) -> float:
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

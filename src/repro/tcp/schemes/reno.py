@@ -1,0 +1,25 @@
+"""TCP NewReno (RFC 3782 / RFC 5681).
+
+The base AIMD scheme: slow start doubles the window per RTT, congestion
+avoidance adds one packet per RTT, any loss halves the window. The paper
+uses NewReno's multi-flow winning rate as the threshold of the
+"TCP-friendly region" in Fig. 7, because its pure AIMD logic is the
+canonical model of a general TCP flow.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class NewReno(CongestionControl):
+    """Classic AIMD: additive increase 1/RTT, multiplicative decrease 1/2."""
+
+    name = "newreno"
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+        else:
+            self.reno_increase(sock, n_acked)

@@ -1,0 +1,36 @@
+"""Scalable TCP (Kelly — CCR 2003).
+
+Multiplicative-increase/multiplicative-decrease: +0.01 packets per ACK
+(so recovery time after a loss is constant regardless of window size) and
+a mild 1/8 reduction on loss. YeAH borrows its fast-mode increase from
+this scheme.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Scalable(CongestionControl):
+    """MIMD for high-BDP paths: a = 0.01/ack, b = 1/8."""
+
+    name = "scalable"
+
+    AI = 0.01  # per-ACK increase, packets
+    MD = 0.125  # multiplicative decrease fraction
+    LOW_WINDOW = 16.0  # Reno-compatible region
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        if sock.cwnd < self.LOW_WINDOW:
+            self.reno_increase(sock, n_acked)
+        else:
+            sock.cwnd += self.AI * n_acked
+
+    def ssthresh(self, sock) -> float:
+        if sock.cwnd < self.LOW_WINDOW:
+            return max(sock.cwnd / 2.0, self.MIN_CWND)
+        return max(sock.cwnd * (1.0 - self.MD), self.MIN_CWND)

@@ -1,0 +1,63 @@
+"""TCP Vegas (Brakmo, O'Malley, Peterson — SIGCOMM 1994).
+
+The canonical delay-based scheme: once per RTT, compare the expected rate
+``cwnd/baseRTT`` to the actual rate ``cwnd/RTT``; keep the backlog
+``diff = (expected - actual) * baseRTT`` between ``α`` (2) and ``β`` (4)
+packets by adjusting the window by one packet per RTT. Ranks at the top of
+the paper's Set I heuristics and at the bottom of Set II (it yields to
+Cubic), which is exactly the tension Sage learns to resolve.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Vegas(CongestionControl):
+    """Delay-based backlog targeting (alpha=2, beta=4)."""
+
+    name = "vegas"
+
+    ALPHA = 2.0
+    BETA = 4.0
+    GAMMA = 1.0
+
+    def __init__(self) -> None:
+        self.base_rtt = float("inf")
+        self.min_rtt_cycle = float("inf")
+        self._acks_in_rtt = 0.0
+        self._ss_toggle = False
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.min_rtt_cycle = min(self.min_rtt_cycle, rtt)
+        self._acks_in_rtt += n_acked
+        if self._acks_in_rtt < sock.cwnd:
+            return
+        self._acks_in_rtt = 0.0
+        rtt_cycle = self.min_rtt_cycle
+        self.min_rtt_cycle = float("inf")
+        if rtt_cycle == float("inf") or self.base_rtt == float("inf"):
+            return
+        expected = sock.cwnd / self.base_rtt
+        actual = sock.cwnd / max(rtt_cycle, 1e-6)
+        diff = (expected - actual) * self.base_rtt
+
+        if self.in_slow_start(sock):
+            # double every *other* RTT; leave slow start when backlog > gamma
+            if diff > self.GAMMA:
+                sock.ssthresh = min(sock.ssthresh, sock.cwnd - 1.0)
+                sock.cwnd = max(sock.cwnd - (diff - self.GAMMA), self.MIN_CWND)
+            else:
+                self._ss_toggle = not self._ss_toggle
+                if self._ss_toggle:
+                    sock.cwnd *= 2.0
+            return
+
+        if diff < self.ALPHA:
+            sock.cwnd += 1.0
+        elif diff > self.BETA:
+            sock.cwnd = max(sock.cwnd - 1.0, self.MIN_CWND)
+        # else: equilibrium, hold

@@ -1,0 +1,52 @@
+"""TCP Veno (Fu & Liew — IEEE JSAC 2003).
+
+Uses the Vegas backlog estimate ``N = cwnd * (RTT - baseRTT) / RTT`` to
+distinguish random (wireless) loss from congestive loss: when ``N < β``
+(=3 packets) at loss time, the loss is deemed random and the window is only
+reduced to 4/5; otherwise classic halving. The increase slows to every
+other ACK once the backlog exceeds β.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Veno(CongestionControl):
+    """Reno with a Vegas-informed loss discriminator."""
+
+    name = "veno"
+
+    BETA_PKTS = 3.0
+
+    def __init__(self) -> None:
+        self.base_rtt = float("inf")
+        self.min_rtt_cycle = float("inf")
+        self.backlog = 0.0
+        self._inc_toggle = False
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.min_rtt_cycle = min(self.min_rtt_cycle, rtt)
+            if rtt > 0 and self.base_rtt < float("inf"):
+                expected = sock.cwnd / self.base_rtt
+                actual = sock.cwnd / rtt
+                self.backlog = (expected - actual) * self.base_rtt
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        if self.backlog < self.BETA_PKTS:
+            self.reno_increase(sock, n_acked)
+        else:
+            # available bandwidth fully used: increase every other ACK
+            self._inc_toggle = not self._inc_toggle
+            if self._inc_toggle:
+                self.reno_increase(sock, n_acked)
+
+    def ssthresh(self, sock) -> float:
+        if self.backlog < self.BETA_PKTS:
+            # random loss: cut by 1/5 only
+            return max(sock.cwnd * 0.8, self.MIN_CWND)
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

@@ -1,0 +1,56 @@
+"""TCP Westwood(+) (Casetti et al. — Wireless Networks 2002).
+
+Maintains a low-pass-filtered estimate of the eligible bandwidth from the
+ACK stream; on loss, instead of blind halving it sets
+``ssthresh = BWE * RTT_min`` (in packets) — "faster recovery" sized to what
+the path actually delivered.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import MSS_BYTES
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Westwood(CongestionControl):
+    """Reno increase + bandwidth-estimate-based decrease."""
+
+    name = "westwood"
+
+    FILTER_GAIN = 0.9  # one-pole low-pass coefficient per sample window
+
+    def __init__(self) -> None:
+        self.bwe_bps = 0.0
+        self._bytes_acked_win = 0
+        self._win_start = 0.0
+        self.rtt_min = float("inf")
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.rtt_min = min(self.rtt_min, rtt)
+        self._bytes_acked_win += n_acked * MSS_BYTES
+        # Sample the ACK rate roughly once per RTT, then low-pass filter.
+        win = max(sock.srtt_or_min, 0.01)
+        if now - self._win_start >= win:
+            interval = now - self._win_start
+            sample = self._bytes_acked_win * 8.0 / interval
+            if self.bwe_bps == 0.0:
+                self.bwe_bps = sample
+            else:
+                self.bwe_bps = (
+                    self.FILTER_GAIN * self.bwe_bps
+                    + (1.0 - self.FILTER_GAIN) * sample
+                )
+            self._bytes_acked_win = 0
+            self._win_start = now
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+        else:
+            self.reno_increase(sock, n_acked)
+
+    def ssthresh(self, sock) -> float:
+        if self.bwe_bps > 0 and self.rtt_min < float("inf"):
+            pkts = self.bwe_bps * self.rtt_min / (8.0 * MSS_BYTES)
+            return max(pkts, self.MIN_CWND)
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

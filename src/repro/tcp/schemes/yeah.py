@@ -1,0 +1,78 @@
+"""YeAH-TCP — "Yet Another Highspeed TCP" (Baiocchi et al., PFLDnet 2007).
+
+Operates in two modes decided by the estimated bottleneck backlog
+``Q = (RTT - RTT_base) * cwnd / RTT``: *Fast* (aggressive STCP-style
+increase) while the queue is short, *Slow* (Reno) plus "precautionary
+decongestion" (subtract the backlog from the window) when the queue grows.
+On loss, the window is cut in proportion to the measured backlog rather
+than blindly halved.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc_base import CongestionControl, register_scheme
+
+
+@register_scheme
+class Yeah(CongestionControl):
+    """Two-mode high-speed scheme with precautionary decongestion."""
+
+    name = "yeah"
+
+    Q_MAX = 80.0  # backlog packets allowed before switching to slow mode
+    PHI = 8.0  # rtt ratio threshold denominator (1/phi)
+    GAMMA = 1.0  # decongestion aggressiveness
+    EPSILON = 1.0 / 8.0  # fraction of cwnd as min decongestion step
+    STCP_AI = 0.01  # scalable-TCP per-ack increase fraction
+
+    def __init__(self) -> None:
+        self.base_rtt = float("inf")
+        self.min_rtt_cycle = float("inf")
+        self.queue_pkts = 0.0
+        self.fast_mode = True
+        self._acks_in_rtt = 0.0
+
+    def on_ack(self, sock, n_acked: int, rtt: float, now: float) -> None:
+        if rtt > 0:
+            self.base_rtt = min(self.base_rtt, rtt)
+            self.min_rtt_cycle = min(self.min_rtt_cycle, rtt)
+        if self.in_slow_start(sock):
+            self.slow_start(sock, n_acked)
+            return
+        self._acks_in_rtt += n_acked
+        if self._acks_in_rtt >= sock.cwnd:  # roughly once per RTT
+            self._per_rtt_update(sock)
+            self._acks_in_rtt = 0.0
+        if self.fast_mode:
+            # scalable-TCP style increase: +0.01 packets per acked packet
+            sock.cwnd += self.STCP_AI * n_acked
+        else:
+            self.reno_increase(sock, n_acked)
+
+    def _per_rtt_update(self, sock) -> None:
+        rtt = self.min_rtt_cycle
+        self.min_rtt_cycle = float("inf")
+        if rtt == float("inf") or self.base_rtt == float("inf") or rtt <= 0:
+            return
+        queue_delay = max(rtt - self.base_rtt, 0.0)
+        self.queue_pkts = queue_delay * sock.cwnd / rtt
+        congested = (
+            self.queue_pkts > self.Q_MAX
+            or (rtt - self.base_rtt) > self.base_rtt / self.PHI
+        )
+        if congested:
+            self.fast_mode = False
+            # precautionary decongestion: drain the estimated backlog
+            reduction = max(self.queue_pkts / self.GAMMA, sock.cwnd * self.EPSILON)
+            if self.queue_pkts > self.Q_MAX:
+                sock.cwnd = max(sock.cwnd - reduction, self.MIN_CWND)
+                sock.ssthresh = sock.cwnd
+        else:
+            self.fast_mode = True
+
+    def ssthresh(self, sock) -> float:
+        if self.queue_pkts < self.Q_MAX and self.queue_pkts > 0:
+            # loss with small measured backlog: cut by the backlog only
+            reduction = max(self.queue_pkts, sock.cwnd / 8.0)
+            return max(sock.cwnd - reduction, self.MIN_CWND)
+        return max(sock.cwnd / 2.0, self.MIN_CWND)

@@ -1,0 +1,104 @@
+"""Tests for the Fig. 12 ablation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.collector.gr_unit import STATE_DIM, STATE_FIELDS
+from repro.collector.pool import PolicyPool, Trajectory
+from repro.core.ablation import ABLATIONS, _mask_without, train_ablation
+from repro.core.crr import CRRConfig
+from repro.core.networks import NetworkConfig
+
+TINY = NetworkConfig(enc_dim=16, gru_dim=16, n_components=2, n_atoms=7)
+TINY_CRR = CRRConfig(batch_size=4, seq_len=4)
+
+
+def small_pool(seed=0):
+    rng = np.random.default_rng(seed)
+    trajs = [
+        Trajectory(
+            scheme=f"s{i}", env_id=f"e{i}", multi_flow=False,
+            states=rng.standard_normal((20, STATE_DIM)),
+            actions=rng.uniform(0.8, 1.2, size=20),
+            rewards=rng.uniform(0, 1, size=20),
+        )
+        for i in range(3)
+    ]
+    return PolicyPool(trajs)
+
+
+class TestMasks:
+    def test_no_minmax_leaves_33_live_inputs(self):
+        _, mask = ABLATIONS["no-minmax"]
+        assert int(mask.sum()) == 33
+
+    def test_no_rttvar_kills_18(self):
+        _, mask = ABLATIONS["no-rttvar"]
+        assert int((1 - mask).sum()) == 18
+        killed = {STATE_FIELDS[i] for i in np.where(mask == 0)[0]}
+        assert all(f.startswith(("rtt_rate_", "rtt_var_")) for f in killed)
+
+    def test_no_loss_inf_kills_18(self):
+        _, mask = ABLATIONS["no-loss-inf"]
+        killed = {STATE_FIELDS[i] for i in np.where(mask == 0)[0]}
+        assert all(f.startswith(("lost_", "inflight_")) for f in killed)
+
+    def test_mask_without_shape(self):
+        m = _mask_without([0, 1])
+        assert m.shape == (STATE_DIM,)
+        assert m[0] == 0 and m[2] == 1
+
+
+class TestArchitectureVariants:
+    @pytest.mark.parametrize("name", ["no-gru", "no-encoder", "no-gmm"])
+    def test_config_overrides(self, name):
+        overrides, mask = ABLATIONS[name]
+        assert mask is None
+        assert len(overrides) == 1
+
+
+class TestTraining:
+    @pytest.mark.parametrize("name", sorted(ABLATIONS))
+    def test_every_ablation_trains_and_acts(self, name):
+        agent = train_ablation(
+            small_pool(), name, n_steps=2, net_config=TINY, crr_config=TINY_CRR
+        )
+        agent.reset()
+        r = agent.act(np.zeros(STATE_DIM))
+        assert 1 / 3 <= r <= 3
+        assert agent.name == name
+
+    def test_masked_agent_ignores_masked_inputs(self):
+        agent = train_ablation(
+            small_pool(), "no-minmax", n_steps=2, net_config=TINY,
+            crr_config=TINY_CRR,
+        )
+        agent.deterministic = True  # compare modes, not noisy samples
+        agent.reset()
+        base = np.zeros(STATE_DIM)
+        r1 = agent.act(base.copy())
+        agent.reset()
+        poked = base.copy()
+        masked_idx = int(np.where(agent.state_mask == 0)[0][0])
+        poked[masked_idx] = 100.0
+        r2 = agent.act(poked)
+        assert r1 == pytest.approx(r2)
+
+    def test_unmasked_inputs_still_matter(self):
+        agent = train_ablation(
+            small_pool(), "no-minmax", n_steps=2, net_config=TINY,
+            crr_config=TINY_CRR,
+        )
+        agent.deterministic = True
+        agent.reset()
+        r1 = agent.act(np.zeros(STATE_DIM))
+        agent.reset()
+        poked = np.zeros(STATE_DIM)
+        live_idx = int(np.where(agent.state_mask == 1)[0][0])
+        poked[live_idx] = 0.05
+        r2 = agent.act(poked)
+        assert r1 != pytest.approx(r2, abs=1e-12)
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            train_ablation(small_pool(), "no-everything", n_steps=1)

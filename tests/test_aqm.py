@@ -1,0 +1,163 @@
+"""Unit tests for the AQM disciplines."""
+
+import pytest
+
+from repro.netsim.aqm import BoDe, CoDel, HeadDrop, PIE, TailDrop, make_aqm
+from repro.netsim.packet import Packet
+
+
+def pkt(seq=0, size=1500):
+    return Packet(flow_id=0, seq=seq, size=size)
+
+
+class TestTailDrop:
+    def test_admits_until_full(self):
+        q = TailDrop(capacity_bytes=3000)
+        assert q.enqueue(pkt(0), 0.0)
+        assert q.enqueue(pkt(1), 0.0)
+        assert not q.enqueue(pkt(2), 0.0)
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_dequeue_fifo(self):
+        q = TailDrop(capacity_bytes=10_000)
+        for i in range(3):
+            q.enqueue(pkt(i), 0.0)
+        assert [q.dequeue(0.0).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_dequeue_empty_returns_none(self):
+        assert TailDrop(1500).dequeue(0.0) is None
+
+    def test_bytes_accounting(self):
+        q = TailDrop(capacity_bytes=10_000)
+        q.enqueue(pkt(0, size=1000), 0.0)
+        q.enqueue(pkt(1, size=500), 0.0)
+        assert q.bytes_queued == 1500
+        q.dequeue(0.0)
+        assert q.bytes_queued == 500
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TailDrop(0)
+
+
+class TestHeadDrop:
+    def test_evicts_oldest_on_overflow(self):
+        q = HeadDrop(capacity_bytes=3000)
+        q.enqueue(pkt(0), 0.0)
+        q.enqueue(pkt(1), 0.0)
+        assert q.enqueue(pkt(2), 0.0)  # arrival admitted, head dropped
+        assert q.drops == 1
+        assert q.dequeue(0.0).seq == 1
+
+    def test_queue_never_exceeds_capacity(self):
+        q = HeadDrop(capacity_bytes=4500)
+        for i in range(10):
+            q.enqueue(pkt(i), 0.0)
+        assert q.bytes_queued <= 4500
+
+
+class TestCoDel:
+    def test_no_drops_below_target(self):
+        q = CoDel(capacity_bytes=100_000, target=0.005, interval=0.1)
+        now = 0.0
+        for i in range(50):
+            q.enqueue(pkt(i), now)
+            got = q.dequeue(now + 0.001)  # sojourn 1 ms < 5 ms target
+            assert got is not None
+            now += 0.002
+        assert q.drops == 0
+
+    def test_drops_after_sustained_delay(self):
+        q = CoDel(capacity_bytes=1_000_000, target=0.005, interval=0.05)
+        # Fill the queue, then dequeue slowly so sojourn stays high.
+        for i in range(200):
+            q.enqueue(pkt(i), 0.0)
+        now = 0.2
+        delivered = 0
+        for _ in range(200):
+            got = q.dequeue(now)
+            if got is not None:
+                delivered += 1
+            now += 0.01
+        assert q.drops > 0
+        assert delivered > 0  # it does not drop everything
+
+    def test_hard_overflow_still_tail_drops(self):
+        q = CoDel(capacity_bytes=1500)
+        assert q.enqueue(pkt(0), 0.0)
+        assert not q.enqueue(pkt(1), 0.0)
+
+
+class TestPIE:
+    def test_no_drops_when_queue_small(self):
+        q = PIE(capacity_bytes=100_000)
+        q.current_rate_bps = 10e6
+        accepted = sum(q.enqueue(pkt(i), i * 0.001) for i in range(3))
+        assert accepted == 3
+
+    def test_drop_probability_rises_with_standing_queue(self):
+        q = PIE(capacity_bytes=10_000_000, target=0.005)
+        q.current_rate_bps = 1e6  # slow link -> big queueing delay
+        now = 0.0
+        for i in range(2000):
+            q.enqueue(pkt(i), now)
+            now += 0.005
+            if i % 10 == 0 and len(q):
+                q.dequeue(now)
+        assert q._p > 0.0
+        assert q.drops > 0
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            q = PIE(capacity_bytes=1_000_000, seed=seed)
+            q.current_rate_bps = 1e6
+            now = 0.0
+            outcome = []
+            for i in range(500):
+                outcome.append(q.enqueue(pkt(i), now))
+                now += 0.005
+            return outcome
+
+        assert run(7) == run(7)
+
+
+class TestBoDe:
+    def test_bounds_delay(self):
+        q = BoDe(capacity_bytes=10_000_000, delay_bound=0.02)
+        q.current_rate_bps = 12e6  # 0.02 s == 30 KB at 12 Mbps
+        admitted = 0
+        for i in range(100):
+            if q.enqueue(pkt(i), 0.0):
+                admitted += 1
+        assert q.bytes_queued * 8.0 / 12e6 <= 0.02 + 1e-9
+        assert admitted < 100
+
+    def test_admits_when_under_bound(self):
+        q = BoDe(capacity_bytes=1_000_000, delay_bound=1.0)
+        q.current_rate_bps = 100e6
+        assert q.enqueue(pkt(0), 0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("taildrop", TailDrop),
+            ("tdrop", TailDrop),
+            ("headdrop", HeadDrop),
+            ("hdrop", HeadDrop),
+            ("codel", CoDel),
+            ("pie", PIE),
+            ("bode", BoDe),
+        ],
+    )
+    def test_make_aqm(self, name, cls):
+        assert isinstance(make_aqm(name, 10_000), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_aqm("red", 10_000)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_aqm("CoDel", 10_000), CoDel)

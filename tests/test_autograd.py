@@ -1,0 +1,202 @@
+"""Gradient checks for the autograd engine (numerical differentiation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.autograd import Tensor, as_tensor, concat, no_grad, stack_rows
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    g = np.zeros_like(x)
+    for idx in np.ndindex(x.shape):
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        g[idx] = (f(xp) - f(xm)) / (2 * eps)
+    return g
+
+
+def check_grad(op, x: np.ndarray, atol=1e-5):
+    t = Tensor(x, requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    num = numerical_grad(lambda v: float(op(Tensor(v)).sum().data), x)
+    np.testing.assert_allclose(t.grad, num, atol=atol, rtol=1e-4)
+
+
+SMALL = arrays(np.float64, (3, 4), elements=st.floats(-2.0, 2.0, width=64))
+
+
+class TestUnaryGrads:
+    @given(x=SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_tanh(self, x):
+        check_grad(lambda t: t.tanh(), x)
+
+    @given(x=SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_sigmoid(self, x):
+        check_grad(lambda t: t.sigmoid(), x)
+
+    @given(x=SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_exp(self, x):
+        check_grad(lambda t: t.exp(), x)
+
+    def test_log(self):
+        x = np.abs(np.random.default_rng(0).standard_normal((3, 4))) + 0.5
+        check_grad(lambda t: t.log(), x)
+
+    @given(x=SMALL)
+    @settings(max_examples=10, deadline=None)
+    def test_leaky_relu(self, x):
+        # avoid the kink at exactly 0
+        x = np.where(np.abs(x) < 1e-3, 0.1, x)
+        check_grad(lambda t: t.leaky_relu(0.01), x)
+
+    def test_pow(self):
+        x = np.abs(np.random.default_rng(1).standard_normal((3, 4))) + 0.5
+        check_grad(lambda t: t.pow(1.7), x)
+
+    def test_sqrt(self):
+        x = np.abs(np.random.default_rng(2).standard_normal((3,))) + 0.5
+        check_grad(lambda t: t.sqrt(), x)
+
+
+class TestBinaryGrads:
+    def test_add_broadcast_bias(self):
+        x = np.random.default_rng(0).standard_normal((3, 4))
+        b = np.random.default_rng(1).standard_normal(4)
+        tb = Tensor(b, requires_grad=True)
+        (Tensor(x) + tb).sum().backward()
+        np.testing.assert_allclose(tb.grad, np.full(4, 3.0))
+
+    def test_mul_grads_both_sides(self):
+        rng = np.random.default_rng(2)
+        a_np, b_np = rng.standard_normal((2, 3)), rng.standard_normal((2, 3))
+        a, b = Tensor(a_np, requires_grad=True), Tensor(b_np, requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b_np)
+        np.testing.assert_allclose(b.grad, a_np)
+
+    def test_matmul(self):
+        rng = np.random.default_rng(3)
+        a_np, w_np = rng.standard_normal((5, 3)), rng.standard_normal((3, 2))
+        w = Tensor(w_np, requires_grad=True)
+        out = (Tensor(a_np) @ w).sum()
+        out.backward()
+        num = numerical_grad(
+            lambda v: float((a_np @ v).sum()), w_np
+        )
+        np.testing.assert_allclose(w.grad, num, atol=1e-5)
+
+    def test_div(self):
+        x = np.abs(np.random.default_rng(4).standard_normal((3,))) + 1.0
+        check_grad(lambda t: as_tensor(2.0) / t, x)
+
+    def test_sub_rsub(self):
+        x = np.random.default_rng(5).standard_normal((3,))
+        check_grad(lambda t: 1.0 - t, x)
+        check_grad(lambda t: t - 1.0, x)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        x = np.random.default_rng(0).standard_normal((3, 4))
+        check_grad(lambda t: t.sum(axis=1), x)
+
+    def test_mean(self):
+        x = np.random.default_rng(1).standard_normal((3, 4))
+        check_grad(lambda t: t.mean(axis=0), x)
+
+    def test_reshape_routes_grads(self):
+        x = np.random.default_rng(2).standard_normal((2, 6))
+        check_grad(lambda t: t.reshape(3, 4).tanh(), x)
+
+    def test_getitem(self):
+        x = np.random.default_rng(3).standard_normal((4, 5))
+        t = Tensor(x, requires_grad=True)
+        t[1:3, :2].sum().backward()
+        expected = np.zeros_like(x)
+        expected[1:3, :2] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concat_routes_grads(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        (out * Tensor(np.arange(10.0).reshape(2, 5))).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1, 2], [5, 6, 7]])
+        np.testing.assert_allclose(b.grad, [[3, 4], [8, 9]])
+
+    def test_stack_rows(self):
+        xs = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(4)]
+        stack_rows(xs).sum().backward()
+        for t in xs:
+            np.testing.assert_allclose(t.grad, np.ones(3))
+
+
+class TestComposites:
+    def test_log_softmax_grads(self):
+        x = np.random.default_rng(0).standard_normal((3, 5))
+        check_grad(lambda t: t.log_softmax(axis=-1), x)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(1).standard_normal((4, 6))
+        s = Tensor(x).softmax(axis=-1).data
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4))
+
+    def test_logsumexp_matches_numpy(self):
+        x = np.random.default_rng(2).standard_normal((3, 5))
+        got = Tensor(x).logsumexp(axis=-1).data
+        want = np.log(np.exp(x).sum(axis=-1))
+        np.testing.assert_allclose(got, want)
+
+    def test_logsumexp_stable_for_large_inputs(self):
+        x = np.array([[1000.0, 1000.0]])
+        got = Tensor(x).logsumexp(axis=-1).data
+        np.testing.assert_allclose(got, 1000.0 + np.log(2.0))
+
+    def test_clip_grads_zero_outside(self):
+        x = np.array([-2.0, 0.0, 2.0])
+        t = Tensor(x, requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t + t).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full(3, 2.0))
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3.0
+        b = t * 5.0
+        (a + b).sum().backward()
+        np.testing.assert_allclose(t.grad, [8.0])
+
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        t = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert not t.detach().requires_grad

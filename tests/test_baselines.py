@@ -1,0 +1,216 @@
+"""Tests for the ML-baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aurora import AuroraTrainer, _returns
+from repro.baselines.bc import BCTrainer, BC_VARIANTS, _winner_pool, train_bc_variant
+from repro.baselines.indigo import OracleAgent, collect_oracle_pool, train_indigo
+from repro.baselines.online_rl import OnlineRLTrainer
+from repro.baselines.orca import OrcaAgent, train_orca
+from repro.collector.environments import EnvConfig
+from repro.collector.gr_unit import STATE_DIM
+from repro.collector.pool import PolicyPool, Trajectory
+from repro.core.networks import NetworkConfig
+
+TINY = NetworkConfig(enc_dim=16, gru_dim=16, n_components=2, n_atoms=7)
+
+
+def mini_envs(duration=3.0):
+    return [
+        EnvConfig(env_id="b1", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                  buffer_bdp=2.0, duration=duration),
+        EnvConfig(env_id="b2", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                  buffer_bdp=2.0, n_competing_cubic=1, duration=duration),
+    ]
+
+
+def toy_pool(rng, schemes=("vegas", "cubic", "bbr2"), length=20):
+    trajs = []
+    for i, s in enumerate(schemes):
+        for e in range(2):
+            trajs.append(
+                Trajectory(
+                    scheme=s, env_id=f"env{e}", multi_flow=bool(e),
+                    states=rng.standard_normal((length, STATE_DIM)) * 0.1,
+                    actions=rng.uniform(0.7, 1.4, size=length),
+                    rewards=rng.uniform(0, 1, size=length) + i * 0.1,
+                )
+            )
+    return PolicyPool(trajs)
+
+
+class TestBC:
+    def test_loss_decreases(self):
+        pool = toy_pool(np.random.default_rng(0))
+        t = BCTrainer(pool, net_config=TINY, batch_size=4, seq_len=4, seed=0)
+        first = np.mean([t.train_step() for _ in range(5)])
+        for _ in range(40):
+            t.train_step()
+        last = np.mean([t.train_step() for _ in range(5)])
+        assert last < first
+
+    def test_agent_usable(self):
+        pool = toy_pool(np.random.default_rng(1))
+        t = BCTrainer(pool, net_config=TINY, batch_size=4, seq_len=4)
+        t.train(3)
+        agent = t.agent("bc")
+        agent.reset()
+        assert 1 / 3 <= agent.act(np.zeros(STATE_DIM)) <= 3
+
+    def test_variant_filters(self):
+        pool = toy_pool(np.random.default_rng(2))
+        top = pool.filter_schemes(BC_VARIANTS["bc-top"])
+        assert set(top.schemes()) == {"vegas", "cubic"}
+
+    def test_winner_pool_keeps_one_per_env(self):
+        pool = toy_pool(np.random.default_rng(3))
+        winners = _winner_pool(pool)
+        assert len(winners) == 2  # one per env
+        env_ids = [t.env_id for t in winners.trajectories]
+        assert len(env_ids) == len(set(env_ids))
+
+    @pytest.mark.parametrize("variant", sorted(BC_VARIANTS))
+    def test_all_variants_train(self, variant):
+        pool = toy_pool(np.random.default_rng(4))
+        agent = train_bc_variant(pool, variant, n_steps=3, net_config=TINY)
+        assert agent.name == variant
+
+    def test_unknown_variant_rejected(self):
+        pool = toy_pool(np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            train_bc_variant(pool, "bc-top99", n_steps=1, net_config=TINY)
+
+
+class TestOnlineRL:
+    def test_collect_fills_replay(self):
+        t = OnlineRLTrainer(environments=mini_envs(), net_config=TINY, seed=0)
+        t.collect(2)
+        assert len(t.replay) == 2
+        assert t.rollouts_done == 2
+
+    def test_train_interleaves(self):
+        t = OnlineRLTrainer(environments=mini_envs(), net_config=TINY, seed=1)
+        t.train(n_iterations=2, rollouts_per_iter=1, steps_per_iter=2)
+        assert t.steps_done == 4
+        agent = t.agent()
+        agent.reset()
+        assert 1 / 3 <= agent.act(np.zeros(STATE_DIM)) <= 3
+
+    def test_replay_capacity_enforced(self):
+        t = OnlineRLTrainer(
+            environments=mini_envs(duration=2.0), net_config=TINY,
+            replay_capacity=2, seed=2,
+        )
+        t.collect(4)
+        assert len(t.replay) == 2
+
+
+class TestAurora:
+    def test_returns_discounting(self):
+        r = _returns(np.array([1.0, 1.0, 1.0]), gamma=0.5)
+        np.testing.assert_allclose(r, [1.75, 1.5, 1.0])
+
+    def test_memoryless_policy(self):
+        t = AuroraTrainer(environments=mini_envs(), net_config=TINY, seed=0)
+        assert not t.net_cfg.use_gru
+
+    def test_trains_only_single_flow(self):
+        t = AuroraTrainer(environments=mini_envs(), net_config=TINY, seed=1)
+        assert all(not e.is_multi_flow for e in t.envs)
+
+    def test_iteration_runs(self):
+        t = AuroraTrainer(environments=mini_envs(duration=2.0), net_config=TINY, seed=2)
+        loss = t.train_iteration()
+        assert np.isfinite(loss)
+
+    def test_genet_orders_curriculum(self):
+        envs = [
+            EnvConfig(env_id="hard", kind="step", bw_mbps=24.0, min_rtt=0.04,
+                      buffer_bdp=0.5, step_m=2.0, step_at=1.0, duration=2.0),
+            EnvConfig(env_id="easy", kind="flat", bw_mbps=24.0, min_rtt=0.04,
+                      buffer_bdp=8.0, duration=2.0),
+        ]
+        t = AuroraTrainer(environments=envs, net_config=TINY, curriculum=True)
+        assert t.envs[0].env_id == "easy"
+        assert t.agent().name == "genet"
+
+
+class TestIndigo:
+    def test_oracle_targets_bdp(self):
+        env = EnvConfig(env_id="o", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                        buffer_bdp=2.0, duration=2.0)
+        oracle = OracleAgent(env, margin=1.0)
+        # 12 Mbps * 40 ms / (8 * 1500 B) = 40 packets
+        assert oracle.target_cwnd() == pytest.approx(40.0, rel=0.01)
+
+    def test_oracle_fair_share_when_multi(self):
+        env = EnvConfig(env_id="o", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                        buffer_bdp=2.0, n_competing_cubic=1, duration=2.0)
+        oracle = OracleAgent(env, margin=1.0)
+        assert oracle.target_cwnd() == pytest.approx(20.0, rel=0.01)
+
+    def test_oracle_converges_to_target(self):
+        env = EnvConfig(env_id="o", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                        buffer_bdp=2.0, duration=2.0)
+        oracle = OracleAgent(env, margin=1.0)
+        oracle.reset()
+        for _ in range(100):
+            oracle.act(np.zeros(STATE_DIM))
+        assert oracle._cwnd == pytest.approx(oracle.target_cwnd(), rel=0.05)
+
+    def test_indigo_skips_multi_flow_by_default(self):
+        pool = collect_oracle_pool(mini_envs(duration=2.0), include_multi_flow=False)
+        assert len(pool) == 1
+
+    def test_indigov2_includes_multi_flow(self):
+        pool = collect_oracle_pool(mini_envs(duration=2.0), include_multi_flow=True)
+        assert len(pool) == 2
+
+    def test_train_indigo_names(self):
+        agent = train_indigo(mini_envs(duration=2.0), multi_flow=False,
+                             n_steps=2, net_config=TINY)
+        assert agent.name == "indigo"
+        agent2 = train_indigo(mini_envs(duration=2.0), multi_flow=True,
+                              n_steps=2, net_config=TINY)
+        assert agent2.name == "indigov2"
+
+
+class TestOrca:
+    def test_hybrid_epoch_gating(self):
+        t = OnlineRLTrainer(environments=mini_envs(duration=2.0), net_config=TINY)
+        inner = t.agent("inner")
+        orca = OrcaAgent(inner, epoch=5)
+        orca.reset()
+        state = np.zeros(STATE_DIM)
+        ratios = [orca.act(state) for _ in range(5)]
+        # ticks 1-4 are pure heuristic growth; tick 5 includes the agent
+        assert all(r == pytest.approx(1.015) for r in ratios[:4])
+
+    def test_heuristic_backoff_on_loss(self):
+        t = OnlineRLTrainer(environments=mini_envs(duration=2.0), net_config=TINY)
+        orca = OrcaAgent(t.agent("inner"), epoch=10)
+        orca.reset()
+        state = np.zeros(STATE_DIM)
+        state[OrcaAgent._LOSS_DB_IDX] = 1e6
+        assert orca.act(state) == pytest.approx(0.75)
+
+    def test_deepcc_only_shrinks_at_epochs(self):
+        t = OnlineRLTrainer(environments=mini_envs(duration=2.0), net_config=TINY)
+        orca = OrcaAgent(t.agent("inner"), epoch=1, delay_bound_only=True)
+        orca.reset()
+        for _ in range(10):
+            r = orca.act(np.zeros(STATE_DIM))
+            assert r <= 1.015 + 1e-9
+
+    def test_train_orca_names(self):
+        a = train_orca(mini_envs(duration=2.0), n_iterations=1, steps_per_iter=1,
+                       net_config=TINY)
+        assert a.name == "orca"
+        b = train_orca(mini_envs(duration=2.0), dual_reward=True, n_iterations=1,
+                       steps_per_iter=1, net_config=TINY)
+        assert b.name == "orcav2"
+        c = train_orca(mini_envs(duration=2.0), deepcc=True, n_iterations=1,
+                       steps_per_iter=1, net_config=TINY)
+        assert c.name == "deepcc"
+        assert c.delay_bound_only

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_collect_defaults(self):
+        args = build_parser().parse_args(["collect"])
+        assert args.scale == "mini"
+        assert args.out == "pool.npz"
+
+    def test_train_requires_pool(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_deploy_requires_agent(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+
+class TestEndToEnd:
+    def test_collect_train_deploy(self, tmp_path, capsys):
+        pool_path = str(tmp_path / "pool.npz")
+        agent_path = str(tmp_path / "sage.npz")
+        assert main([
+            "collect", "--scale", "mini", "--schemes", "cubic,vegas",
+            "--out", pool_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PolicyPool" in out
+
+        assert main([
+            "train", "--pool", pool_path, "--steps", "4",
+            "--checkpoints", "2", "--out", agent_path,
+            "--enc-dim", "16", "--gru-dim", "16",
+            "--components", "2", "--atoms", "7",
+        ]) == 0
+
+        assert main([
+            "deploy", "--agent", agent_path, "--bw", "12", "--duration", "3",
+            "--enc-dim", "16", "--gru-dim", "16",
+            "--components", "2", "--atoms", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "throughput=" in out

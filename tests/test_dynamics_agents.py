@@ -1,0 +1,57 @@
+"""Dynamics experiments driven by learned agents (the non-scheme paths)."""
+
+import numpy as np
+import pytest
+
+from repro.collector.gr_unit import STATE_DIM
+from repro.core.agent import SageAgent
+from repro.core.networks import NetworkConfig, SagePolicy
+from repro.evalx.dynamics import fairness_experiment, friendliness_experiment
+from repro.evalx.leagues import Participant
+
+TINY = NetworkConfig(enc_dim=16, gru_dim=16, n_components=2, n_atoms=7)
+
+
+@pytest.fixture()
+def agent():
+    return SageAgent(SagePolicy(TINY, np.random.default_rng(0)), name="mini")
+
+
+class TestAgentFairness:
+    def test_agent_flows_share_link(self, agent):
+        res = fairness_experiment(
+            Participant.from_agent(agent), n_flows=2, join_every=2.0,
+            bw_mbps=12.0, duration=10.0,
+        )
+        assert len(res.flow_stats) == 2
+        total = sum(s.avg_throughput_bps for s in res.flow_stats)
+        # untrained agents are weak but must still move traffic, and can
+        # never exceed the link
+        assert total > 1e5
+        assert total < 12e6 * 1.3
+
+    def test_each_agent_flow_has_independent_state(self, agent):
+        res = fairness_experiment(
+            Participant.from_agent(agent), n_flows=2, join_every=2.0,
+            bw_mbps=12.0, duration=8.0,
+        )
+        # the late flow existed for less time, so it moved fewer bytes
+        early, late = res.flow_stats
+        assert early.duration > late.duration
+
+
+class TestAgentFriendliness:
+    def test_agent_vs_cubic_runs(self, agent):
+        res = friendliness_experiment(
+            Participant.from_agent(agent), n_cubic=1, bw_mbps=12.0,
+            duration=8.0,
+        )
+        assert len(res.flow_stats) == 2
+        assert res.flow_stats[1].avg_throughput_bps > 1e6  # cubic progresses
+
+    def test_jain_index_bounds(self, agent):
+        res = friendliness_experiment(
+            Participant.from_agent(agent), n_cubic=2, bw_mbps=12.0,
+            duration=8.0,
+        )
+        assert 0.0 <= res.jain_index() <= 1.0

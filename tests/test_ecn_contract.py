@@ -1,0 +1,48 @@
+"""ECN contract tests across the scheme registry and classic RFC 3168 path."""
+
+import pytest
+
+from repro.tcp.cc_base import CongestionControl, make_scheme, scheme_names
+
+
+class FakeSock:
+    cwnd = 100.0
+    ssthresh = 50.0
+    srtt = 0.05
+    srtt_or_min = 0.05
+    min_rtt = 0.05
+    rttvar = 0.001
+    inflight = 100
+    delivery_rate = 10e6
+    max_delivery_rate = 12e6
+    delivered = 1000
+    lost = 0
+    sent_packets = 1000
+
+
+class TestEcnCapability:
+    def test_only_dctcp_negotiates_ecn(self):
+        capable = [n for n in scheme_names() if make_scheme(n).ecn_capable]
+        assert capable == ["dctcp"]
+
+    def test_classic_rfc3168_default_backoff(self):
+        # a scheme without its own on_ecn_ack reacts like a loss, once/RTT
+        cc = make_scheme("newreno")
+        sock = FakeSock()
+        sock.cwnd = 100.0
+        cc.on_ecn_ack(sock, now=1.0)
+        assert sock.cwnd == pytest.approx(50.0)
+        # a second echo inside the same RTT is ignored
+        cc.on_ecn_ack(sock, now=1.01)
+        assert sock.cwnd == pytest.approx(50.0)
+        # but a new RTT allows another backoff
+        cc.on_ecn_ack(sock, now=1.2)
+        assert sock.cwnd == pytest.approx(25.0)
+
+    def test_dctcp_echo_does_not_cut_immediately(self):
+        cc = make_scheme("dctcp")
+        sock = FakeSock()
+        sock.cwnd = 100.0
+        cc.on_ecn_ack(sock, now=1.0)
+        assert sock.cwnd == 100.0  # cuts only at window boundaries
+        assert cc._marks_in_window == 1

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(2.0, lambda: fired.append("b"))
+    loop.call_at(1.0, lambda: fired.append("a"))
+    loop.call_at(3.0, lambda: fired.append("c"))
+    loop.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for i in range(5):
+        loop.call_at(1.0, lambda i=i: fired.append(i))
+    loop.run_until(1.0)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    assert loop.now == 5.0
+
+
+def test_run_until_does_not_fire_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(2.0, lambda: fired.append("x"))
+    loop.run_until(1.0)
+    assert fired == []
+    loop.run_until(2.0)
+    assert fired == ["x"]
+
+
+def test_call_later_is_relative_to_now():
+    loop = EventLoop()
+    times = []
+    loop.call_at(1.0, lambda: loop.call_later(0.5, lambda: times.append(loop.now)))
+    loop.run_until(3.0)
+    assert times == [pytest.approx(1.5)]
+
+
+def test_cancelled_events_do_not_fire():
+    loop = EventLoop()
+    fired = []
+    handle = loop.call_at(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    loop.run_until(2.0)
+    assert fired == []
+
+
+def test_cancel_one_of_several_at_same_time():
+    loop = EventLoop()
+    fired = []
+    h1 = loop.call_at(1.0, lambda: fired.append(1))
+    loop.call_at(1.0, lambda: fired.append(2))
+    h1.cancel()
+    loop.run_until(1.0)
+    assert fired == [2]
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.run_until(5.0)
+    with pytest.raises(ValueError):
+        loop.call_at(4.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.call_later(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_fire_in_same_run():
+    loop = EventLoop()
+    fired = []
+
+    def chain():
+        fired.append(loop.now)
+        if loop.now < 0.5:
+            loop.call_later(0.1, chain)
+
+    loop.call_at(0.1, chain)
+    loop.run_until(1.0)
+    assert len(fired) >= 5
+
+
+def test_pending_counts_only_live_events():
+    loop = EventLoop()
+    h1 = loop.call_at(1.0, lambda: None)
+    loop.call_at(2.0, lambda: None)
+    h1.cancel()
+    assert loop.pending() == 1
+
+
+def test_peek_time_skips_cancelled():
+    loop = EventLoop()
+    h1 = loop.call_at(1.0, lambda: None)
+    loop.call_at(2.0, lambda: None)
+    h1.cancel()
+    assert loop.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventLoop().peek_time() is None
+
+
+def test_run_all_drains_everything():
+    loop = EventLoop()
+    fired = []
+    loop.call_at(1.0, lambda: loop.call_later(1.0, lambda: fired.append("deep")))
+    loop.run_all()
+    assert fired == ["deep"]
+
+
+def test_now_monotone_across_runs():
+    loop = EventLoop()
+    loop.call_at(1.0, lambda: None)
+    loop.run_until(2.0)
+    t1 = loop.now
+    loop.run_until(3.0)
+    assert loop.now >= t1

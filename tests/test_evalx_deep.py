@@ -1,0 +1,179 @@
+"""Tests for internet/cellular evaluation, similarity, t-SNE, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.collector.environments import EnvConfig
+from repro.collector.pool import PolicyPool
+from repro.collector.rollout import collect_trajectory
+from repro.evalx.dynamics import (
+    aqm_experiment,
+    behavior_scenarios,
+    fairness_experiment,
+    friendliness_experiment,
+    frontier_experiment,
+)
+from repro.evalx.internet import (
+    AWS_SERVERS,
+    GENI_SERVERS,
+    cellular_envs,
+    evaluate_paths,
+    inter_continental_envs,
+    intra_continental_envs,
+)
+from repro.evalx.leagues import Participant
+from repro.evalx.similarity import (
+    distance_cdf,
+    min_cosine_distances,
+    similarity_index,
+    similarity_table,
+    transition_matrix,
+)
+from repro.evalx.tsne import tsne
+
+
+class TestInternetEnvs:
+    def test_table4_server_counts(self):
+        assert len(GENI_SERVERS) == 15
+        assert len(AWS_SERVERS) == 13
+
+    def test_intra_rtts_in_paper_range(self):
+        for env in intra_continental_envs():
+            assert 0.007 <= env.min_rtt <= 0.070
+
+    def test_inter_rtts_in_paper_range(self):
+        for env in inter_continental_envs():
+            assert 0.070 <= env.min_rtt <= 0.237
+
+    def test_cellular_defaults_to_23_traces(self):
+        envs = cellular_envs()
+        assert len(envs) == 23
+        assert all(e.kind == "cellular" for e in envs)
+
+    def test_envs_deterministic(self):
+        a = [e.min_rtt for e in inter_continental_envs()]
+        b = [e.min_rtt for e in inter_continental_envs()]
+        assert a == b
+
+    def test_evaluate_paths_normalization(self):
+        parts = [Participant.from_scheme(s) for s in ("cubic", "vegas")]
+        envs = intra_continental_envs(duration=4.0, n_paths=2)
+        report = evaluate_paths(parts, envs, tag="test")
+        for p in ("cubic", "vegas"):
+            assert 0.0 < report.norm_throughput[p] <= 1.0
+            assert report.norm_delay[p] >= 1.0 - 1e-9
+            assert report.norm_delay_p95[p] >= report.norm_delay[p] - 0.35
+        # somebody is the throughput reference on each path
+        assert max(report.norm_throughput.values()) > 0.8
+        assert "cubic" in report.format_table()
+
+
+def _rollout(scheme="cubic", duration=4.0, env_id="sim", bw=12.0):
+    env = EnvConfig(env_id=env_id, kind="flat", bw_mbps=bw, min_rtt=0.04,
+                    buffer_bdp=2.0, duration=duration)
+    return collect_trajectory(env, scheme)
+
+
+class TestSimilarity:
+    def test_transition_matrix_shape(self):
+        r = _rollout()
+        m = transition_matrix(r)
+        assert m.shape == (r.length - 1, 2 * 69 + 1)
+
+    def test_distance_zero_against_self(self):
+        r = _rollout()
+        pool = PolicyPool()
+        pool.add_rollout(r)
+        cdf = distance_cdf(r, pool)
+        np.testing.assert_allclose(cdf, 0.0, atol=1e-9)
+
+    def test_distance_positive_against_different(self):
+        r1 = _rollout("vegas")
+        r2 = _rollout("cubic")
+        pool = PolicyPool()
+        pool.add_rollout(r2)
+        cdf = distance_cdf(r1, pool)
+        assert cdf[-1] > 0.0
+        assert np.all(np.diff(cdf) >= 0)  # sorted
+
+    def test_similarity_one_for_identical(self):
+        r = _rollout()
+        assert similarity_index(r, r) == pytest.approx(1.0)
+
+    def test_similarity_bounded(self):
+        s = similarity_index(_rollout("vegas"), _rollout("cubic"))
+        assert -1.0 <= s <= 1.0
+
+    def test_similarity_table_checks_alignment(self):
+        r = _rollout()
+        with pytest.raises(ValueError):
+            similarity_table([r], {"cubic": []})
+
+    def test_min_cosine_distances_identity(self):
+        x = np.random.default_rng(0).standard_normal((10, 5))
+        d = min_cosine_distances(x, x)
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+
+class TestTsne:
+    def test_output_shape(self):
+        x = np.random.default_rng(0).standard_normal((30, 10))
+        y = tsne(x, n_iter=60)
+        assert y.shape == (30, 2)
+
+    def test_separates_two_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((20, 8)) * 0.1
+        b = rng.standard_normal((20, 8)) * 0.1 + 8.0
+        y = tsne(np.vstack([a, b]), n_iter=250, perplexity=8.0)
+        ca, cb = y[:20].mean(axis=0), y[20:].mean(axis=0)
+        within = max(np.linalg.norm(y[:20] - ca, axis=1).mean(),
+                     np.linalg.norm(y[20:] - cb, axis=1).mean())
+        between = np.linalg.norm(ca - cb)
+        assert between > 2.0 * within
+
+    def test_needs_four_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 2)))
+
+
+class TestDynamics:
+    def test_behavior_scenarios_match_fig17(self):
+        s1, s2, s3 = behavior_scenarios()
+        assert s1.kind == "step" and s1.step_m == 2.0
+        assert s2.kind == "step" and s2.step_m == 0.5
+        assert s3.n_competing_cubic == 1
+        # the paper's 450 KB buffer at 24 Mbps / 20 ms
+        assert s1.buffer_bytes == pytest.approx(450e3, rel=0.02)
+
+    def test_fairness_same_scheme_flows_converge(self):
+        res = fairness_experiment(
+            Participant.from_scheme("cubic"), n_flows=2, join_every=3.0,
+            bw_mbps=12.0, duration=16.0,
+        )
+        assert len(res.flow_stats) == 2
+        assert res.jain_index() > 0.7
+
+    def test_friendliness_counts_flows(self):
+        res = friendliness_experiment(
+            Participant.from_scheme("cubic"), n_cubic=3, bw_mbps=24.0,
+            duration=8.0,
+        )
+        assert len(res.flow_stats) == 4
+
+    def test_aqm_experiment_covers_all_aqms(self):
+        out = aqm_experiment(
+            [Participant.from_scheme("cubic")], bw_mbps=12.0, duration=4.0,
+        )
+        assert set(out["cubic"]) == {"headdrop", "taildrop", "pie", "bode", "codel"}
+        for thr, owd in out["cubic"].values():
+            assert thr > 0 and owd > 0
+
+    def test_frontier_shallow_and_deep(self):
+        out = frontier_experiment(
+            [Participant.from_scheme("vegas"), Participant.from_scheme("cubic")],
+            bw_mbps=12.0, duration=5.0,
+        )
+        assert set(out) == {"shallow", "deep"}
+        # deep buffers let loss-based cubic hold more delay than vegas
+        assert out["deep"]["cubic"][1] > out["deep"]["vegas"][1]

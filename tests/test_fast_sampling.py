@@ -1,0 +1,88 @@
+"""Tests for FastPolicy's stochastic deployment path."""
+
+import numpy as np
+import pytest
+
+from repro.collector.gr_unit import STATE_DIM
+from repro.core.agent import SageAgent
+from repro.core.networks import FastPolicy, NetworkConfig, SagePolicy
+
+TINY = NetworkConfig(enc_dim=16, gru_dim=16, n_components=3, n_atoms=7)
+
+
+@pytest.fixture()
+def fast():
+    return FastPolicy(SagePolicy(TINY, np.random.default_rng(0)))
+
+
+class TestSampleStep:
+    def test_ratio_bounded(self, fast):
+        rng = np.random.default_rng(1)
+        h = fast.initial_state()
+        for _ in range(50):
+            r, h = fast.sample_step(np.zeros(STATE_DIM), h, rng)
+            assert 1 / 3 - 1e-9 <= r <= 3 + 1e-9
+
+    def test_stochastic(self, fast):
+        rng = np.random.default_rng(2)
+        draws = set()
+        for _ in range(30):
+            r, _ = fast.sample_step(np.zeros(STATE_DIM), fast.initial_state(), rng)
+            draws.add(round(r, 8))
+        assert len(draws) > 5
+
+    def test_seeded_reproducible(self, fast):
+        def seq(seed):
+            rng = np.random.default_rng(seed)
+            h = fast.initial_state()
+            out = []
+            for _ in range(10):
+                r, h = fast.sample_step(np.zeros(STATE_DIM), h, rng)
+                out.append(r)
+            return out
+
+        assert seq(5) == seq(5)
+        assert seq(5) != seq(6)
+
+    def test_hidden_state_matches_deterministic_path(self, fast):
+        # sampling only affects the head; the recurrent update is identical
+        rng = np.random.default_rng(3)
+        h1 = fast.initial_state()
+        h2 = fast.initial_state()
+        s = np.random.default_rng(4).standard_normal(STATE_DIM)
+        _, h1 = fast.step(s, h1)
+        _, h2 = fast.sample_step(s, h2, rng)
+        np.testing.assert_allclose(h1, h2)
+
+    def test_samples_center_on_mixture(self, fast):
+        # the empirical mean of log-ratios should sit inside the span of
+        # the component means
+        rng = np.random.default_rng(6)
+        s = np.zeros(STATE_DIM)
+        logs = []
+        for _ in range(300):
+            r, _ = fast.sample_step(s, fast.initial_state(), rng)
+            logs.append(np.log(r))
+        assert -1.1 < np.mean(logs) < 1.1
+
+
+class TestAgentDeploymentModes:
+    def test_stochastic_is_default(self):
+        agent = SageAgent(SagePolicy(TINY, np.random.default_rng(7)))
+        assert not agent.deterministic
+
+    def test_stochastic_agent_varies(self):
+        agent = SageAgent(SagePolicy(TINY, np.random.default_rng(8)))
+        agent.reset()
+        acts = {round(agent.act(np.zeros(STATE_DIM)), 8) for _ in range(20)}
+        assert len(acts) > 1
+
+    def test_deterministic_agent_constant_on_fixed_input_stream(self):
+        agent = SageAgent(
+            SagePolicy(TINY, np.random.default_rng(9)), deterministic=True
+        )
+        agent.reset()
+        a1 = [agent.act(np.ones(STATE_DIM)) for _ in range(5)]
+        agent.reset()
+        a2 = [agent.act(np.ones(STATE_DIM)) for _ in range(5)]
+        assert a1 == a2

@@ -1,0 +1,61 @@
+"""More coverage for the Internet-path evaluation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.evalx.internet import (
+    InternetReport,
+    _path_envs,
+    cellular_envs,
+    evaluate_paths,
+    inter_continental_envs,
+    intra_continental_envs,
+)
+from repro.evalx.leagues import Participant
+
+
+class TestPathGeneration:
+    def test_n_paths_truncates(self):
+        assert len(intra_continental_envs(n_paths=4)) == 4
+        assert len(inter_continental_envs(n_paths=2)) == 2
+
+    def test_unique_trace_seeds(self):
+        envs = intra_continental_envs()
+        seeds = [e.trace_seed for e in envs]
+        assert len(seeds) == len(set(seeds))
+
+    def test_rtt_span_covers_paper_extremes(self):
+        # across both sets the paper spans 7-237 ms
+        all_envs = intra_continental_envs() + inter_continental_envs()
+        rtts = [e.min_rtt for e in all_envs]
+        assert min(rtts) < 0.05
+        assert max(rtts) > 0.15
+
+    def test_cellular_env_parameters_vary(self):
+        envs = cellular_envs(n_traces=10)
+        assert len({e.bw_mbps for e in envs}) > 1
+        assert len({e.min_rtt for e in envs}) > 1
+
+    def test_path_envs_deterministic_per_seed(self):
+        a = _path_envs(["x", "y"], 0.01, 0.1, 10, 50, 5.0, "t", None, seed=3)
+        b = _path_envs(["x", "y"], 0.01, 0.1, 10, 50, 5.0, "t", None, seed=3)
+        assert [e.min_rtt for e in a] == [e.min_rtt for e in b]
+
+
+class TestReport:
+    def test_report_table_sorted_by_power(self):
+        rep = InternetReport(
+            tag="t",
+            norm_throughput={"a": 1.0, "b": 0.5},
+            norm_delay={"a": 1.0, "b": 1.0},
+            norm_delay_p95={"a": 1.2, "b": 1.1},
+        )
+        lines = rep.format_table().splitlines()
+        assert lines[1].strip().startswith("a")
+
+    def test_evaluate_paths_handles_single_scheme(self):
+        envs = intra_continental_envs(duration=3.0, n_paths=1)
+        rep = evaluate_paths([Participant.from_scheme("cubic")], envs, "solo")
+        # with a single participant it is its own reference
+        assert rep.norm_throughput["cubic"] == pytest.approx(1.0)
+        assert rep.norm_delay["cubic"] == pytest.approx(1.0)

@@ -1,0 +1,68 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.evalx.plotting import ascii_scatter, ascii_timeseries, plot_flow_throughput
+
+
+class TestTimeseries:
+    def test_basic_structure(self):
+        chart = ascii_timeseries(
+            {"a": ([0, 1, 2], [0.0, 1.0, 2.0])}, width=20, height=5,
+            title="t", y_label="u",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert "#" in chart  # the series glyph
+        assert "a" in lines[-1]
+        assert "[u]" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = ascii_timeseries(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=20, height=5
+        )
+        assert "#" in chart and "*" in chart
+
+    def test_extremes_on_borders(self):
+        chart = ascii_timeseries({"a": ([0, 10], [5.0, 15.0])}, width=20, height=5)
+        assert "        15 +" in chart
+        assert "         5 +" in chart
+
+    def test_constant_series_ok(self):
+        chart = ascii_timeseries({"a": ([0, 1], [3.0, 3.0])}, width=10, height=4)
+        assert "#" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_timeseries({})
+        with pytest.raises(ValueError):
+            ascii_timeseries({"a": ([], [])})
+
+
+class TestScatter:
+    def test_points_and_labels(self):
+        chart = ascii_scatter(
+            {"cubic": (24.0, 60.0), "vegas": (23.0, 21.0)},
+            title="frontier", x_label="Mbps", y_label="ms",
+        )
+        assert "frontier" in chart
+        assert "cubic" in chart and "vegas" in chart
+        assert "#" in chart and "*" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+
+class TestFlowChart:
+    def test_plot_rollout(self):
+        from repro.collector.environments import EnvConfig
+        from repro.collector.rollout import collect_trajectory
+
+        env = EnvConfig(env_id="plot", kind="flat", bw_mbps=12.0,
+                        min_rtt=0.04, buffer_bdp=2.0, duration=3.0)
+        r = collect_trajectory(env, "cubic")
+        chart = plot_flow_throughput(r)
+        assert "cubic" in chart
+        assert "Mbps" in chart

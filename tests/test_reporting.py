@@ -1,0 +1,60 @@
+"""Tests for the CSV/Markdown reporting helpers."""
+
+import pytest
+
+from repro.evalx.internet import InternetReport
+from repro.evalx.leagues import LeagueResult
+from repro.evalx.reporting import (
+    internet_rows,
+    league_rows,
+    load_csv,
+    markdown_table,
+    save_csv,
+)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "r.csv"
+        save_csv(path, ["a", "b"], [[1, 2.5], ["x", "y"]])
+        rows = load_csv(path)
+        assert rows == [{"a": "1", "b": "2.5"}, {"a": "x", "b": "y"}]
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tmp_path / "r.csv", ["a", "b"], [[1]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = markdown_table(["scheme", "rate"], [["cubic", 0.123456]])
+        lines = md.splitlines()
+        assert lines[0] == "| scheme | rate |"
+        assert lines[1] == "|---|---|"
+        assert "0.1235" in lines[2]
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a"], [[1, 2]])
+
+
+class TestFlatteners:
+    def test_league_rows_sorted_by_combined(self):
+        res = LeagueResult(
+            set1_rates={"a": 0.9, "b": 0.1},
+            set2_rates={"a": 0.0, "b": 0.8},
+        )
+        rows = league_rows(res)
+        assert rows[0][0] == "a" or rows[0][0] == "b"
+        combined = [r[1] + r[2] for r in rows]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_internet_rows(self):
+        rep = InternetReport(
+            tag="t",
+            norm_throughput={"x": 0.5},
+            norm_delay={"x": 1.2},
+            norm_delay_p95={"x": 2.0},
+        )
+        rows = internet_rows(rep)
+        assert rows == [["x", 0.5, 1.2, 2.0]]

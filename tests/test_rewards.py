@@ -1,0 +1,107 @@
+"""Tests for the reward functions (Eqs. 1 and 2, Fig. 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector.rewards import (
+    RewardConfig,
+    friendliness_reward,
+    single_flow_reward,
+)
+
+
+class TestSingleFlowReward:
+    def test_full_utilization_low_delay_near_one(self):
+        r = single_flow_reward(48e6, 0.0, 0.04, 48e6, 0.04)
+        assert r == pytest.approx(1.0)
+
+    def test_more_throughput_is_better(self):
+        lo = single_flow_reward(10e6, 0.0, 0.04, 48e6, 0.04)
+        hi = single_flow_reward(40e6, 0.0, 0.04, 48e6, 0.04)
+        assert hi > lo
+
+    def test_more_delay_is_worse(self):
+        fast = single_flow_reward(24e6, 0.0, 0.04, 48e6, 0.04)
+        slow = single_flow_reward(24e6, 0.0, 0.40, 48e6, 0.04)
+        assert fast > slow
+
+    def test_loss_penalized(self):
+        clean = single_flow_reward(24e6, 0.0, 0.04, 48e6, 0.04)
+        lossy = single_flow_reward(24e6, 5e6, 0.04, 48e6, 0.04)
+        assert clean > lossy
+
+    def test_xi_scales_loss_penalty(self):
+        gentle = single_flow_reward(
+            24e6, 5e6, 0.04, 48e6, 0.04, RewardConfig(xi=0.1)
+        )
+        harsh = single_flow_reward(
+            24e6, 5e6, 0.04, 48e6, 0.04, RewardConfig(xi=2.0)
+        )
+        assert gentle > harsh
+
+    def test_never_negative(self):
+        assert single_flow_reward(1e6, 50e6, 0.04, 48e6, 0.04) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            single_flow_reward(1e6, 0.0, 0.04, 0.0, 0.04)
+        with pytest.raises(ValueError):
+            single_flow_reward(1e6, 0.0, 0.04, 48e6, 0.0)
+
+    @given(
+        rate=st.floats(0.0, 96e6),
+        delay=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounded(self, rate, delay):
+        r = single_flow_reward(rate, 0.0, delay, 48e6, 0.01)
+        assert 0.0 <= r <= 2.0
+
+
+class TestFriendlinessReward:
+    def test_peak_at_fair_share(self):
+        assert friendliness_reward(24e6, 24e6) == pytest.approx(1.0)
+
+    def test_symmetric_falloff(self):
+        below = friendliness_reward(12e6, 24e6)  # x = 0.5
+        above = friendliness_reward(36e6, 24e6)  # x = 1.5
+        assert below == pytest.approx(above)
+
+    def test_matches_eq2(self):
+        x = 0.7
+        got = friendliness_reward(x * 24e6, 24e6)
+        assert got == pytest.approx(math.exp(-8 * (x - 1) ** 2))
+
+    def test_starving_scores_near_zero(self):
+        assert friendliness_reward(0.0, 24e6) < 0.001
+
+    def test_rejects_zero_fair_share(self):
+        with pytest.raises(ValueError):
+            friendliness_reward(1e6, 0.0)
+
+    @given(x=st.floats(0.0, 3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_and_peaked(self, x):
+        r = friendliness_reward(x * 24e6, 24e6)
+        assert 0.0 <= r <= 1.0
+        assert r <= friendliness_reward(24e6, 24e6)
+
+    @given(x=st.floats(0.0, 0.99))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_toward_fair_share_from_below(self, x):
+        closer = friendliness_reward((x + 0.01) * 24e6, 24e6)
+        farther = friendliness_reward(x * 24e6, 24e6)
+        assert closer >= farther
+
+
+class TestRewardConfig:
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            RewardConfig(xi=-1.0)
+        with pytest.raises(ValueError):
+            RewardConfig(kappa=0.0)
+        with pytest.raises(ValueError):
+            RewardConfig(friendliness_sharpness=0.0)

@@ -1,0 +1,362 @@
+"""Per-scheme unit tests: each control law's characteristic behaviour,
+exercised through the registry and hook interface."""
+
+import math
+
+import pytest
+
+import repro.baselines  # noqa: F401  (registers the Vivace scheme)
+from repro.tcp.cc_base import (
+    POOL_SCHEMES,
+    DELAY_LEAGUE,
+    CongestionControl,
+    make_scheme,
+    register_scheme,
+    scheme_names,
+)
+from repro.tcp.schemes.highspeed import hstcp_a, hstcp_b
+
+
+class FakeSock:
+    """Just enough socket surface for hook-level unit tests."""
+
+    def __init__(self, cwnd=100.0, ssthresh=1e9, srtt=0.05):
+        self.cwnd = cwnd
+        self.ssthresh = ssthresh
+        self.srtt = srtt
+        self.min_rtt = srtt
+        self.rttvar = 0.001
+        self.inflight = int(cwnd)
+        self.delivery_rate = 10e6
+        self.max_delivery_rate = 12e6
+        self.delivered = 1000
+        self.lost = 0
+        self.sent_packets = 1000
+
+    @property
+    def srtt_or_min(self):
+        return self.srtt
+
+
+ALL_SCHEMES = scheme_names()  # the contract below must hold for every scheme
+
+
+class TestRegistry:
+    def test_all_pool_schemes_registered(self):
+        names = scheme_names()
+        for s in POOL_SCHEMES:
+            assert s in names
+
+    def test_all_delay_schemes_registered(self):
+        names = scheme_names()
+        for s in DELAY_LEAGUE:
+            assert s in names
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            make_scheme("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @register_scheme
+            class Fake(CongestionControl):
+                name = "cubic"
+
+    def test_nameless_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @register_scheme
+            class Fake(CongestionControl):
+                name = "base"
+
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_instances_are_independent(self, name):
+        a, b = make_scheme(name), make_scheme(name)
+        assert a is not b
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+class TestCommonContract:
+    def test_ack_hook_keeps_cwnd_positive(self, name):
+        cc = make_scheme(name)
+        sock = FakeSock()
+        cc.on_init(sock)
+        for i in range(50):
+            cc.on_ack(sock, 1, 0.05, 0.02 * (i + 1))
+        assert sock.cwnd >= 1.0
+
+    def test_loss_event_reduces_or_holds_window(self, name):
+        cc = make_scheme(name)
+        sock = FakeSock(cwnd=200.0, ssthresh=100.0)
+        cc.on_init(sock)
+        cc.on_ack(sock, 1, 0.05, 0.02)
+        before = sock.cwnd
+        cc.on_loss_event(sock, 1.0)
+        assert sock.cwnd <= before + 1e-9
+        assert sock.cwnd >= CongestionControl.MIN_CWND - 1e-9
+
+    def test_rto_shrinks_window(self, name):
+        cc = make_scheme(name)
+        sock = FakeSock(cwnd=200.0, ssthresh=100.0)
+        cc.on_init(sock)
+        before = sock.cwnd
+        cc.on_rto(sock, 1.0)
+        # Window-based schemes collapse hard; rate-based ones (vivace, bbr2)
+        # may keep a slack window but must not grow it.
+        assert sock.cwnd <= before
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_rtt(self):
+        cc = make_scheme("newreno")
+        sock = FakeSock(cwnd=10.0, ssthresh=1e9)
+        cc.on_ack(sock, 10, 0.05, 0.05)
+        assert sock.cwnd == pytest.approx(20.0)
+
+    def test_congestion_avoidance_one_per_rtt(self):
+        cc = make_scheme("newreno")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0)
+        cc.on_ack(sock, 100, 0.05, 0.05)
+        assert sock.cwnd == pytest.approx(101.0)
+
+    def test_halving_on_loss(self):
+        cc = make_scheme("newreno")
+        sock = FakeSock(cwnd=100.0)
+        cc.on_loss_event(sock, 0.0)
+        assert sock.cwnd == pytest.approx(50.0)
+
+
+class TestCubic:
+    def test_window_grows_toward_wmax_then_beyond(self):
+        cc = make_scheme("cubic")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0)
+        cc.on_init(sock)
+        cc.on_loss_event(sock, 0.0)  # sets w_max = 100, cwnd = 70
+        w_after_loss = sock.cwnd
+        for i in range(400):
+            cc.on_ack(sock, 1, 0.05, 0.01 * i)
+        assert sock.cwnd > w_after_loss
+        assert cc.w_max == pytest.approx(100.0)
+
+    def test_beta_decrease(self):
+        cc = make_scheme("cubic")
+        sock = FakeSock(cwnd=100.0)
+        cc.on_loss_event(sock, 1.0)
+        assert sock.cwnd == pytest.approx(70.0)
+
+    def test_fast_convergence_lowers_wmax(self):
+        cc = make_scheme("cubic")
+        sock = FakeSock(cwnd=100.0)
+        cc.on_loss_event(sock, 1.0)
+        first_wmax = cc.w_max
+        sock.cwnd = 80.0  # lost again below w_max
+        cc.on_loss_event(sock, 2.0)
+        assert cc.w_max < first_wmax
+
+
+class TestHighSpeed:
+    def test_tables_match_rfc_endpoints(self):
+        assert hstcp_b(38.0) == pytest.approx(0.5)
+        assert hstcp_b(83000.0) == pytest.approx(0.1, abs=1e-6)
+        assert hstcp_a(38.0) == 1.0
+
+    def test_increase_grows_with_window(self):
+        assert hstcp_a(10_000) > hstcp_a(1_000) > hstcp_a(100)
+
+    def test_decrease_shrinks_with_window(self):
+        assert hstcp_b(10_000) < hstcp_b(1_000) < hstcp_b(100)
+
+
+class TestHTcp:
+    def test_alpha_grows_with_time_since_loss(self):
+        cc = make_scheme("htcp")
+        cc.last_loss_time = 0.0
+        assert cc._alpha(0.5) == 1.0
+        assert cc._alpha(2.0) > cc._alpha(1.5) > 1.0
+
+
+class TestHybla:
+    def test_rho_scales_with_rtt(self):
+        cc = make_scheme("hybla")
+        sock = FakeSock(srtt=0.25)  # 10x the 25 ms reference
+        cc.on_ack(sock, 1, 0.25, 0.0)
+        assert cc.rho == pytest.approx(8.0)  # capped at RHO_MAX
+
+    def test_short_rtt_behaves_like_reno(self):
+        cc = make_scheme("hybla")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0, srtt=0.01)
+        cc.on_ack(sock, 100, 0.01, 0.0)
+        assert sock.cwnd == pytest.approx(101.0)  # rho floors at 1
+
+
+class TestVegas:
+    def test_increases_when_below_alpha(self):
+        cc = make_scheme("vegas")
+        sock = FakeSock(cwnd=20.0, ssthresh=10.0)
+        cc.base_rtt = 0.05
+        # a full window of acks at base RTT (no backlog) -> +1
+        cc.on_ack(sock, 20, 0.05, 0.0)
+        assert sock.cwnd == pytest.approx(21.0)
+
+    def test_decreases_when_above_beta(self):
+        cc = make_scheme("vegas")
+        sock = FakeSock(cwnd=20.0, ssthresh=10.0)
+        cc.base_rtt = 0.05
+        cc.on_ack(sock, 20, 0.10, 0.0)  # rtt doubled -> backlog 10 > beta
+        assert sock.cwnd == pytest.approx(19.0)
+
+    def test_holds_between_alpha_and_beta(self):
+        cc = make_scheme("vegas")
+        sock = FakeSock(cwnd=20.0, ssthresh=10.0)
+        cc.base_rtt = 0.100
+        # backlog = (expected-actual)*base = 20*(1 - 100/117.6) ~ 3 packets
+        cc.on_ack(sock, 20, 0.1176, 0.0)
+        assert sock.cwnd == pytest.approx(20.0)
+
+
+class TestVeno:
+    def test_random_loss_backoff_is_gentle(self):
+        cc = make_scheme("veno")
+        sock = FakeSock(cwnd=100.0)
+        cc.backlog = 1.0  # below beta: deemed random loss
+        assert cc.ssthresh(sock) == pytest.approx(80.0)
+
+    def test_congestive_loss_halves(self):
+        cc = make_scheme("veno")
+        sock = FakeSock(cwnd=100.0)
+        cc.backlog = 10.0
+        assert cc.ssthresh(sock) == pytest.approx(50.0)
+
+
+class TestWestwood:
+    def test_ssthresh_tracks_bandwidth_estimate(self):
+        cc = make_scheme("westwood")
+        sock = FakeSock(cwnd=300.0)
+        cc.bwe_bps = 12e6
+        cc.rtt_min = 0.05
+        # 12 Mbps * 50 ms = 75 KB = 50 packets
+        assert cc.ssthresh(sock) == pytest.approx(50.0)
+
+    def test_fallback_before_first_estimate(self):
+        cc = make_scheme("westwood")
+        sock = FakeSock(cwnd=100.0)
+        assert cc.ssthresh(sock) == pytest.approx(50.0)
+
+
+class TestYeah:
+    def test_loss_with_small_backlog_cuts_by_backlog(self):
+        cc = make_scheme("yeah")
+        sock = FakeSock(cwnd=100.0)
+        cc.queue_pkts = 20.0
+        assert cc.ssthresh(sock) == pytest.approx(80.0)
+
+    def test_loss_with_big_backlog_halves(self):
+        cc = make_scheme("yeah")
+        sock = FakeSock(cwnd=100.0)
+        cc.queue_pkts = 100.0
+        assert cc.ssthresh(sock) == pytest.approx(50.0)
+
+
+class TestIllinois:
+    def test_alpha_max_when_delay_low(self):
+        cc = make_scheme("illinois")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0)
+        for i in range(60):
+            cc.on_ack(sock, 1, 0.050, i * 0.01)  # always at base RTT
+        assert cc.alpha == pytest.approx(cc.ALPHA_MAX)
+
+    def test_beta_max_when_delay_high(self):
+        cc = make_scheme("illinois")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0)
+        cc.on_ack(sock, 1, 0.050, 0.0)  # establish base
+        cc.on_ack(sock, 1, 0.150, 0.0)  # establish max
+        for i in range(60):
+            cc.on_ack(sock, 1, 0.150, i * 0.01)
+        assert cc.beta == pytest.approx(cc.BETA_MAX)
+
+
+class TestLedbat:
+    def test_shrinks_when_over_target(self):
+        cc = make_scheme("ledbat")
+        sock = FakeSock(cwnd=50.0, ssthresh=1.0)
+        cc.base_delay = 0.05
+        before = sock.cwnd
+        cc.on_ack(sock, 10, 0.05 + 2 * cc.TARGET, 0.0)
+        assert sock.cwnd < before
+
+    def test_grows_when_under_target(self):
+        cc = make_scheme("ledbat")
+        sock = FakeSock(cwnd=50.0, ssthresh=1.0)
+        cc.base_delay = 0.05
+        before = sock.cwnd
+        cc.on_ack(sock, 10, 0.05, 0.0)
+        assert sock.cwnd > before
+
+
+class TestBbr2:
+    def test_startup_exits_on_bw_plateau(self):
+        cc = make_scheme("bbr2")
+        sock = FakeSock()
+        cc.on_init(sock)
+        sock.delivery_rate = 10e6
+        for i in range(10):
+            cc.on_ack(sock, 1, 0.05, 0.02 * i)
+        assert cc.filled_pipe
+        assert cc.state != 0  # left STARTUP
+
+    def test_pacing_rate_none_before_first_sample(self):
+        cc = make_scheme("bbr2")
+        sock = FakeSock()
+        assert cc.pacing_rate(sock) is None
+
+    def test_loss_caps_inflight_headroom(self):
+        cc = make_scheme("bbr2")
+        sock = FakeSock(cwnd=100.0)
+        sock.inflight = 100
+        cc.on_loss_event(sock, 0.0)
+        assert cc.inflight_hi == pytest.approx(70.0)
+
+
+class TestCopaLike:
+    def test_copa_velocity_resets_on_direction_change(self):
+        cc = make_scheme("copa")
+        assert cc.velocity == 1.0
+
+    def test_c2tcp_cuts_on_target_violation(self):
+        cc = make_scheme("c2tcp")
+        sock = FakeSock(cwnd=100.0, ssthresh=50.0)
+        cc.on_init(sock)
+        cc.on_ack(sock, 1, 0.05, 0.0)  # min_rtt = 50 ms, target = 80 ms
+        before = sock.cwnd
+        cc.on_ack(sock, 1, 0.20, 1.0)  # way over the setpoint
+        assert sock.cwnd < before
+
+    def test_sprout_probes_when_queue_empty(self):
+        cc = make_scheme("sprout")
+        sock = FakeSock(cwnd=10.0, ssthresh=1.0, srtt=0.05)
+        cc.on_ack(sock, 10, 0.05, 0.0)
+        assert sock.cwnd > 10.0
+
+
+class TestVivace:
+    def test_utility_prefers_more_throughput(self):
+        cc = make_scheme("vivace")
+        sock = FakeSock()
+        cc._snapshot(sock)
+        sock.delivered += 1000
+        u_fast = cc._utility(sock, 1.0)
+        cc._snapshot(sock)
+        sock.delivered += 100
+        u_slow = cc._utility(sock, 1.0)
+        assert u_fast > u_slow
+
+    def test_utility_penalizes_loss(self):
+        cc = make_scheme("vivace")
+        sock = FakeSock()
+        cc._snapshot(sock)
+        sock.delivered += 1000
+        u_clean = cc._utility(sock, 1.0)
+        cc._snapshot(sock)
+        sock.delivered += 1000
+        sock.lost += 200
+        u_lossy = cc._utility(sock, 1.0)
+        assert u_clean > u_lossy

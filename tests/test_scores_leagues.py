@@ -1,0 +1,170 @@
+"""Tests for scoring, winner determination, and league running."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector.environments import EnvConfig
+from repro.collector.rollout import collect_trajectory
+from repro.evalx.leagues import LeagueResult, Participant, run_league
+from repro.evalx.scores import (
+    ScoreEntry,
+    determine_winners,
+    friendliness_score,
+    interval_scores,
+    power_score,
+    winning_rates,
+)
+
+
+class TestPowerScore:
+    def test_higher_throughput_wins(self):
+        assert power_score(48e6, 0.04) > power_score(24e6, 0.04)
+
+    def test_lower_delay_wins(self):
+        assert power_score(24e6, 0.02) > power_score(24e6, 0.04)
+
+    def test_alpha2_tradeoff(self):
+        # alpha=2: ~1.41x throughput compensates 2x delay (Appendix D)
+        base = power_score(24e6, 0.02, alpha=2.0)
+        traded = power_score(24e6 * np.sqrt(2.0), 0.04, alpha=2.0)
+        assert traded == pytest.approx(base)
+
+    def test_alpha3_favors_throughput_more(self):
+        gain2 = power_score(48e6, 0.04, alpha=2) / power_score(24e6, 0.04, alpha=2)
+        gain3 = power_score(48e6, 0.04, alpha=3) / power_score(24e6, 0.04, alpha=3)
+        assert gain3 > gain2
+
+    def test_rejects_zero_delay(self):
+        with pytest.raises(ValueError):
+            power_score(1e6, 0.0)
+
+
+class TestFriendlinessScore:
+    def test_zero_at_fair_share(self):
+        assert friendliness_score(24e6, 24e6) == 0.0
+
+    def test_symmetric(self):
+        assert friendliness_score(12e6, 24e6) == friendliness_score(36e6, 24e6)
+
+
+def entries_for(env_id, scores, higher=True, interval=0):
+    return [
+        ScoreEntry(
+            participant=name, env_id=env_id, interval=interval,
+            score=s, higher_is_better=higher,
+        )
+        for name, s in scores.items()
+    ]
+
+
+class TestWinners:
+    def test_margin_includes_near_best(self):
+        e = entries_for("env", {"a": 100.0, "b": 95.0, "c": 80.0})
+        winners = determine_winners(e, margin=0.10)
+        assert set(winners["env#0"]) == {"a", "b"}
+
+    def test_tighter_margin_excludes(self):
+        e = entries_for("env", {"a": 100.0, "b": 95.0, "c": 80.0})
+        winners = determine_winners(e, margin=0.04)
+        assert set(winners["env#0"]) == {"a"}
+
+    def test_lower_is_better_margin(self):
+        e = entries_for("env", {"a": 0.0, "b": 0.5, "c": 10.0}, higher=False)
+        winners = determine_winners(e, margin=0.10)
+        assert "a" in winners["env#0"]
+        assert "c" not in winners["env#0"]
+
+    def test_intervals_scored_separately(self):
+        e = entries_for("env", {"a": 100.0, "b": 10.0}, interval=0) + entries_for(
+            "env", {"a": 10.0, "b": 100.0}, interval=1
+        )
+        rates = winning_rates(e)
+        assert rates["a"] == 0.5
+        assert rates["b"] == 0.5
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(ValueError):
+            determine_winners([], margin=1.5)
+
+    @given(
+        scores=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=6),
+        margin=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_best_always_wins(self, scores, margin):
+        e = entries_for("env", {f"p{i}": s for i, s in enumerate(scores)})
+        winners = determine_winners(e, margin=margin)
+        best = max(range(len(scores)), key=lambda i: scores[i])
+        assert f"p{best}" in winners["env#0"]
+
+    @given(margin=st.floats(0.0, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_rates_bounded(self, margin):
+        e = entries_for("e1", {"a": 5.0, "b": 3.0}) + entries_for(
+            "e2", {"a": 1.0, "b": 9.0}
+        )
+        rates = winning_rates(e, margin=margin)
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+        assert max(rates.values()) > 0  # someone always wins
+
+    def test_empty_entries(self):
+        assert winning_rates([]) == {}
+
+
+class TestIntervalScores:
+    def _result(self, multi=False):
+        env = EnvConfig(
+            env_id="sc", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+            buffer_bdp=2.0, n_competing_cubic=1 if multi else 0, duration=4.0,
+        )
+        return collect_trajectory(env, "cubic")
+
+    def test_four_intervals_by_default(self):
+        entries = interval_scores(self._result())
+        assert len(entries) == 4
+        assert all(e.higher_is_better for e in entries)
+
+    def test_multi_flow_lower_is_better(self):
+        entries = interval_scores(self._result(multi=True))
+        assert all(not e.higher_is_better for e in entries)
+
+    def test_requires_enough_samples(self):
+        r = self._result()
+        r.stats.times = r.stats.times[:2]
+        r.stats.throughput_series = r.stats.throughput_series[:2]
+        r.stats.rtt_series = r.stats.rtt_series[:2]
+        with pytest.raises(ValueError):
+            interval_scores(r)
+
+
+class TestLeague:
+    def test_tiny_league_runs(self):
+        set1 = [
+            EnvConfig(env_id="l1", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                      buffer_bdp=1.0, duration=4.0)
+        ]
+        set2 = [
+            EnvConfig(env_id="l2", kind="flat", bw_mbps=12.0, min_rtt=0.04,
+                      buffer_bdp=2.0, n_competing_cubic=1, duration=5.0)
+        ]
+        parts = [Participant.from_scheme(s) for s in ("cubic", "vegas")]
+        res = run_league(parts, set1=set1, set2=set2)
+        assert set(res.set1_rates) == {"cubic", "vegas"}
+        assert set(res.set2_rates) == {"cubic", "vegas"}
+        table = res.format_table()
+        assert "cubic" in table and "vegas" in table
+
+    def test_participant_validation(self):
+        with pytest.raises(ValueError):
+            Participant(name="x")
+        with pytest.raises(ValueError):
+            Participant(name="x", scheme="cubic", agent=object())
+
+    def test_ranking_sorted(self):
+        res = LeagueResult(
+            set1_rates={"a": 0.1, "b": 0.9}, set2_rates={"a": 0.5, "b": 0.2}
+        )
+        assert res.ranking("set1")[0][0] == "b"
+        assert res.ranking("set2")[0][0] == "a"

@@ -1,0 +1,61 @@
+"""Property tests for the similarity/distance metrics on synthetic data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evalx.similarity import _normalize_rows, min_cosine_distances
+
+_NONZERO = st.one_of(
+    st.floats(0.01, 5.0, width=64), st.floats(-5.0, -0.01, width=64)
+)
+MAT = arrays(np.float64, (6, 8), elements=_NONZERO)
+
+
+class TestCosineProperties:
+    @given(a=MAT, b=MAT)
+    @settings(max_examples=20, deadline=None)
+    def test_distances_in_range(self, a, b):
+        d = min_cosine_distances(a, b)
+        assert np.all(d >= -1e-9)
+        assert np.all(d <= 2.0 + 1e-9)
+
+    @given(a=MAT)
+    @settings(max_examples=20, deadline=None)
+    def test_self_distance_zero(self, a):
+        d = min_cosine_distances(a, a)
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    @given(a=MAT, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_invariance(self, a, scale):
+        b = a * scale
+        d = min_cosine_distances(a, b)
+        np.testing.assert_allclose(d, 0.0, atol=1e-9)
+
+    @given(a=MAT, b=MAT)
+    @settings(max_examples=15, deadline=None)
+    def test_adding_reference_rows_never_increases_distance(self, a, b):
+        d_small = min_cosine_distances(a, b[:3])
+        d_big = min_cosine_distances(a, b)
+        assert np.all(d_big <= d_small + 1e-9)
+
+    def test_opposite_vectors_max_distance(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[-1.0, 0.0]])
+        assert min_cosine_distances(a, b)[0] == pytest.approx(2.0)
+
+    @given(a=MAT)
+    @settings(max_examples=10, deadline=None)
+    def test_normalize_rows_unit_norm(self, a):
+        n = _normalize_rows(a)
+        np.testing.assert_allclose(np.linalg.norm(n, axis=1), 1.0, atol=1e-9)
+
+    def test_blocked_computation_matches_direct(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((20, 5)), rng.standard_normal((30, 5))
+        d1 = min_cosine_distances(a, b, block=4)
+        d2 = min_cosine_distances(a, b, block=1000)
+        np.testing.assert_allclose(d1, d2)

@@ -1,0 +1,121 @@
+"""Unit + property tests for the rate processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.traces import (
+    FlatRate,
+    StepRate,
+    TraceRate,
+    cellular_trace,
+    internet_path_rate,
+)
+
+
+class TestFlatRate:
+    def test_constant(self):
+        r = FlatRate(10e6)
+        assert r.rate_at(0.0) == 10e6
+        assert r.rate_at(100.0) == 10e6
+
+    def test_mean_equals_rate(self):
+        assert FlatRate(5e6).mean_rate(30.0) == 5e6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FlatRate(0.0)
+        with pytest.raises(ValueError):
+            FlatRate(-1.0)
+
+
+class TestStepRate:
+    def test_switches_at_t(self):
+        r = StepRate(10e6, 2.0, t_switch=5.0)
+        assert r.rate_at(4.999) == 10e6
+        assert r.rate_at(5.0) == 20e6
+
+    def test_downward_step(self):
+        r = StepRate(40e6, 0.25, t_switch=1.0)
+        assert r.rate_at(2.0) == 10e6
+
+    def test_mean_rate_weights_phases(self):
+        r = StepRate(10e6, 3.0, t_switch=5.0)
+        assert r.mean_rate(10.0) == pytest.approx(20e6)
+
+    def test_mean_before_switch(self):
+        r = StepRate(10e6, 3.0, t_switch=5.0)
+        assert r.mean_rate(4.0) == 10e6
+
+    @given(
+        rate=st.floats(1e5, 1e8),
+        m=st.sampled_from([0.25, 0.5, 2.0, 4.0]),
+        t=st.floats(0.0, 100.0),
+    )
+    def test_rates_always_positive(self, rate, m, t):
+        r = StepRate(rate, m, t_switch=10.0)
+        assert r.rate_at(t) > 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StepRate(-1.0, 2.0, 0.0)
+        with pytest.raises(ValueError):
+            StepRate(1e6, 2.0, -1.0)
+
+
+class TestTraceRate:
+    def test_playback(self):
+        r = TraceRate([1e6, 2e6, 3e6], slot=1.0)
+        assert r.rate_at(0.5) == 1e6
+        assert r.rate_at(1.5) == 2e6
+        assert r.rate_at(2.5) == 3e6
+
+    def test_wraps_around(self):
+        r = TraceRate([1e6, 2e6], slot=1.0)
+        assert r.rate_at(2.5) == 1e6
+        assert r.rate_at(3.5) == 2e6
+
+    def test_zero_slots_floored(self):
+        r = TraceRate([0.0, 1e6], slot=1.0)
+        assert r.rate_at(0.5) > 0  # outage slots never stall the link
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            TraceRate([])
+        with pytest.raises(ValueError):
+            TraceRate([1e6], slot=0.0)
+        with pytest.raises(ValueError):
+            TraceRate([-1.0])
+
+    def test_mean_rate_short_horizon(self):
+        r = TraceRate([1e6, 3e6], slot=1.0)
+        assert r.mean_rate(1.0) == pytest.approx(1e6)
+        assert r.mean_rate(2.0) == pytest.approx(2e6)
+
+
+class TestSyntheticTraces:
+    def test_cellular_trace_reproducible(self):
+        a = cellular_trace(seed=1).samples_bps
+        b = cellular_trace(seed=1).samples_bps
+        np.testing.assert_array_equal(a, b)
+
+    def test_cellular_trace_seeds_differ(self):
+        a = cellular_trace(seed=1).samples_bps
+        b = cellular_trace(seed=2).samples_bps
+        assert not np.array_equal(a, b)
+
+    def test_cellular_trace_is_variable(self):
+        t = cellular_trace(seed=3, duration=60.0)
+        samples = t.samples_bps
+        assert samples.std() / samples.mean() > 0.3  # genuinely bursty
+
+    def test_cellular_trace_bounded(self):
+        t = cellular_trace(seed=4, burst_mbps=24.0)
+        assert t.samples_bps.max() <= 24e6 + 1
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_internet_path_rate_stays_near_base(self, seed):
+        t = internet_path_rate(seed, base_mbps=50.0)
+        assert 0.3 * 50e6 <= t.samples_bps.mean() <= 1.5 * 50e6

@@ -1,0 +1,117 @@
+"""Property-based stress tests: transport invariants under random networks.
+
+Whatever the bottleneck looks like — any capacity, RTT, buffer, AQM — the
+transport must preserve stream integrity, physical plausibility of its
+estimates, and conservation of its counters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector.environments import EnvConfig, build_network
+from repro.tcp.flow import Flow
+
+SCHEMES = ["cubic", "vegas", "bbr2", "newreno", "westwood"]
+
+
+def run_env(scheme, bw, rtt, buf, aqm, duration=4.0, seed=0):
+    env = EnvConfig(
+        env_id=f"prop-{scheme}", kind="flat", bw_mbps=bw, min_rtt=rtt,
+        buffer_bdp=buf, duration=duration, aqm=aqm,
+    )
+    loop, net = build_network(env)
+    flow = Flow(net, 0, scheme, min_rtt=rtt)
+    flow.start()
+    t = 0.0
+    while t < duration:
+        t += 0.1
+        loop.run_until(t)
+        flow.sample()
+    flow.stop()
+    return env, flow
+
+
+@st.composite
+def network_params(draw):
+    return dict(
+        scheme=draw(st.sampled_from(SCHEMES)),
+        bw=draw(st.sampled_from([4.0, 12.0, 24.0, 48.0])),
+        rtt=draw(st.sampled_from([0.01, 0.04, 0.12])),
+        buf=draw(st.sampled_from([0.5, 1.0, 4.0, 8.0])),
+        aqm=draw(st.sampled_from(["taildrop", "headdrop", "codel", "pie", "bode"])),
+    )
+
+
+class TestTransportInvariants:
+    @given(p=network_params())
+    @settings(max_examples=12, deadline=None)
+    def test_stream_integrity(self, p):
+        env, flow = run_env(**p)
+        r = flow.receiver
+        # every distinct packet counted exactly once
+        assert r.total_packets == r.rcv_next + len(r._received)
+        # cumulative ack never exceeds the highest packet seen
+        assert r.rcv_next <= r.max_seq_seen + 1
+
+    @given(p=network_params())
+    @settings(max_examples=12, deadline=None)
+    def test_rtt_estimates_physical(self, p):
+        env, flow = run_env(**p)
+        s = flow.sender
+        if s.srtt > 0:
+            # srtt can never be below propagation...
+            assert s.srtt >= p["rtt"] * 0.99
+            # ...or above propagation + max queueing (+ generous slack)
+            max_queue = env.buffer_bytes * 8.0 / (p["bw"] * 1e6)
+            assert s.srtt <= (p["rtt"] + max_queue) * 2.0 + 0.1
+
+    @given(p=network_params())
+    @settings(max_examples=12, deadline=None)
+    def test_counter_conservation(self, p):
+        env, flow = run_env(**p)
+        s = flow.sender
+        # delivered + outstanding == sent distinct sequences
+        assert s.delivered == s.snd_una
+        assert s.snd_una + len(s._unacked) >= s.snd_nxt - 1024  # holes bounded
+        assert s.retransmits <= s.sent_packets
+        assert s.inflight >= 0
+
+    @given(p=network_params())
+    @settings(max_examples=8, deadline=None)
+    def test_link_never_overdelivers(self, p):
+        env, flow = run_env(**p)
+        delivered_bits = flow.receiver.total_bytes * 8.0
+        capacity_bits = p["bw"] * 1e6 * 4.0 * 1.25  # +25% slack for timing
+        assert delivered_bits <= capacity_bits
+
+    @given(p=network_params())
+    @settings(max_examples=8, deadline=None)
+    def test_progress_is_made(self, p):
+        env, flow = run_env(**p)
+        # any sane scheme moves data on a clean link within 4 s
+        assert flow.receiver.total_packets > 10
+
+
+class TestMultiFlowInvariants:
+    @given(
+        scheme=st.sampled_from(SCHEMES),
+        n=st.integers(2, 4),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_shared_link_conservation(self, scheme, n):
+        env = EnvConfig(
+            env_id="prop-share", kind="flat", bw_mbps=24.0, min_rtt=0.04,
+            buffer_bdp=2.0, duration=5.0,
+        )
+        loop, net = build_network(env)
+        flows = [Flow(net, i, scheme, min_rtt=0.04) for i in range(n)]
+        for f in flows:
+            f.start()
+        loop.run_until(5.0)
+        total_bits = sum(f.receiver.total_bytes for f in flows) * 8.0
+        assert total_bits <= 24e6 * 5.0 * 1.25
+        for f in flows:
+            r = f.receiver
+            assert r.total_packets == r.rcv_next + len(r._received)
