@@ -1,0 +1,169 @@
+"""Throughput of the parallel Policy-Collector engine.
+
+Measures rollouts/sec collecting a fixed ``(env, scheme)`` batch serially
+(``workers=1``) and across a curve of worker counts, verifies the parallel
+pools are bit-identical to the serial one, and writes the result table to
+``BENCH_collector.json``.
+
+Runs two ways:
+
+- standalone: ``PYTHONPATH=src python benchmarks/bench_collector_throughput.py``
+  (``--tiny`` for a seconds-scale CI smoke run);
+- under pytest-benchmark with the rest of the bench suite:
+  ``pytest benchmarks/bench_collector_throughput.py``.
+
+On a single-core machine the curve degenerates to ~1x; the speedup
+assertion only applies from 4 cores up (the ISSUE target: >=2.5x at 4
+workers on a 4+-core machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.collector.environments import EnvConfig  # noqa: E402
+from repro.collector.parallel import collect_pool_parallel  # noqa: E402
+
+OUT_PATH = REPO / "BENCH_collector.json"
+
+
+def bench_environments(tiny: bool):
+    n, duration = (4, 3.0) if tiny else (8, 6.0)
+    return [
+        EnvConfig(
+            env_id=f"bench-{i}", kind="flat",
+            bw_mbps=(12.0, 24.0, 48.0)[i % 3],
+            min_rtt=(0.02, 0.04)[i % 2], buffer_bdp=2.0, duration=duration,
+        )
+        for i in range(n)
+    ]
+
+
+def _pools_identical(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    return all(
+        ta.scheme == tb.scheme
+        and ta.env_id == tb.env_id
+        and np.array_equal(ta.states, tb.states)
+        and np.array_equal(ta.actions, tb.actions)
+        and np.array_equal(ta.rewards, tb.rewards)
+        for ta, tb in zip(a.trajectories, b.trajectories)
+    )
+
+
+def run_bench(tiny: bool = False, worker_counts=None) -> dict:
+    envs = bench_environments(tiny)
+    schemes = ["cubic", "vegas"] if tiny else ["cubic", "vegas", "bbr2"]
+    n_tasks = len(envs) * len(schemes)
+    cpus = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = sorted({w for w in (1, 2, 4, 8) if w <= max(cpus, 2)})
+
+    result = {
+        "n_tasks": n_tasks,
+        "n_envs": len(envs),
+        "schemes": schemes,
+        "cpu_count": cpus,
+        "scale": "tiny" if tiny else "small",
+        "workers": {},
+    }
+
+    t0 = time.perf_counter()
+    serial_pool = collect_pool_parallel(envs, schemes, workers=1)
+    serial_s = time.perf_counter() - t0
+    result["workers"]["1"] = {
+        "elapsed_s": round(serial_s, 3),
+        "rollouts_per_s": round(n_tasks / serial_s, 3),
+        "speedup": 1.0,
+    }
+
+    identical = True
+    for w in worker_counts:
+        if w == 1:
+            continue
+        t0 = time.perf_counter()
+        pool = collect_pool_parallel(envs, schemes, workers=w)
+        elapsed = time.perf_counter() - t0
+        identical = identical and _pools_identical(serial_pool, pool)
+        result["workers"][str(w)] = {
+            "elapsed_s": round(elapsed, 3),
+            "rollouts_per_s": round(n_tasks / elapsed, 3),
+            "speedup": round(serial_s / elapsed, 3),
+        }
+    result["bit_identical"] = identical
+    return result
+
+
+def write_report(result: dict, path: Path = OUT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def print_report(result: dict) -> None:
+    print("\n=== Policy-Collector throughput "
+          f"({result['n_tasks']} rollouts, {result['cpu_count']} cores) ===")
+    print(f"{'workers':>8} {'elapsed_s':>10} {'rollouts/s':>11} {'speedup':>8}")
+    for w in sorted(result["workers"], key=int):
+        row = result["workers"][w]
+        print(f"{w:>8} {row['elapsed_s']:>10.2f} "
+              f"{row['rollouts_per_s']:>11.2f} {row['speedup']:>8.2f}")
+    print(f"parallel pools bit-identical to serial: "
+          f"{result['bit_identical']}")
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry point
+# --------------------------------------------------------------------------
+
+
+def test_collector_throughput(benchmark):
+    from conftest import once
+
+    result = once(benchmark, lambda: run_bench(tiny=True))
+    print_report(result)
+    write_report(result)
+    assert result["bit_identical"], "parallel pool diverged from serial"
+    if result["cpu_count"] >= 4 and "4" in result["workers"]:
+        assert result["workers"]["4"]["speedup"] >= 2.5, (
+            "expected >=2.5x speedup at 4 workers on a 4+-core machine"
+        )
+    elif result["cpu_count"] >= 2 and "2" in result["workers"]:
+        # weaker guard for 2-3-core runners: parallel must not lose
+        assert result["workers"]["2"]["speedup"] >= 0.8
+
+
+# --------------------------------------------------------------------------
+# standalone entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke run (CI)")
+    parser.add_argument("--workers", type=int, nargs="*", default=None,
+                        help="worker counts to sweep (default: 1 2 4 8 "
+                             "capped at the core count)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    result = run_bench(tiny=args.tiny, worker_counts=args.workers)
+    print_report(result)
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

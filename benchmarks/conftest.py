@@ -25,6 +25,10 @@ from repro.core.training import collect_pool, train_sage_on_pool
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 
+#: rollout worker processes for pool collection; collection is bit-identical
+#: for any worker count, so parallel is safe to default on.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", os.cpu_count() or 1))
+
 #: network size used by every learned model in the benches
 BENCH_NET = NetworkConfig(enc_dim=24, gru_dim=24, n_components=2, n_atoms=11)
 BENCH_CRR = CRRConfig(batch_size=8, seq_len=6, lr_policy=1e-3, lr_critic=1e-3)
@@ -76,7 +80,7 @@ _TRAIN_STEPS = {"tiny": 350, "small": 800, "full": 3000}[SCALE]
 def policy_pool():
     """The pool of policies, collected once per bench session."""
     envs = bench_set1() + bench_set2()
-    return collect_pool(envs, schemes=bench_pool_schemes())
+    return collect_pool(envs, schemes=bench_pool_schemes(), workers=WORKERS)
 
 
 @pytest.fixture(scope="session")

@@ -29,6 +29,7 @@ def _cmd_collect(args) -> int:
         training_environments(args.scale),
         schemes=schemes,
         progress=(lambda msg: print(msg)) if args.verbose else None,
+        workers=args.workers,
     )
     pool.save(args.out)
     print(pool.summary())
@@ -78,7 +79,7 @@ def _cmd_league(args) -> int:
             args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
         )
         participants.append(Participant.from_agent(agent))
-    result = run_league(participants)
+    result = run_league(participants, workers=args.workers)
     print(result.format_table())
     return 0
 
@@ -105,6 +106,17 @@ def _cmd_deploy(args) -> int:
     return 0
 
 
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    import os
+
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="rollout worker processes (1 = serial; default: one per CPU)",
+    )
+
+
 def _add_net_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--enc-dim", type=int, default=64, dest="enc_dim")
     p.add_argument("--gru-dim", type=int, default=64, dest="gru_dim")
@@ -121,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", default="", help="comma-separated subset")
     p.add_argument("--out", default="pool.npz")
     p.add_argument("--verbose", action="store_true")
+    _add_workers_arg(p)
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("train", help="train Sage offline on a saved pool")
@@ -136,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("league", help="rank schemes (and optionally an agent)")
     p.add_argument("--schemes", default="cubic,vegas,bbr2,newreno")
     p.add_argument("--agent", default="")
+    _add_workers_arg(p)
     _add_net_args(p)
     p.set_defaults(func=_cmd_league)
 

@@ -14,6 +14,9 @@ generalized ``{state, action, reward}`` trajectories:
   environment and records the trajectory.
 - :mod:`~repro.collector.pool` — the pool of policies: a dataset of
   trajectories with save/load and batch-sampling utilities.
+- :mod:`~repro.collector.parallel` — the parallel rollout engine: fans
+  ``(scheme, env)`` tasks across worker processes with deterministic
+  seeding, crash recovery, and progress reporting.
 """
 
 from repro.collector.gr_unit import (
@@ -37,6 +40,16 @@ from repro.collector.environments import (
 )
 from repro.collector.rollout import RolloutResult, collect_trajectory, run_policy
 from repro.collector.pool import PolicyPool, Trajectory
+from repro.collector.parallel import (
+    CollectionReport,
+    ProgressEvent,
+    RolloutTask,
+    collect_pool_parallel,
+    collect_rollouts,
+    derive_seed,
+    make_rollout_tasks,
+    run_tasks,
+)
 
 __all__ = [
     "GRUnit",
@@ -57,4 +70,12 @@ __all__ = [
     "run_policy",
     "PolicyPool",
     "Trajectory",
+    "CollectionReport",
+    "ProgressEvent",
+    "RolloutTask",
+    "collect_pool_parallel",
+    "collect_rollouts",
+    "derive_seed",
+    "make_rollout_tasks",
+    "run_tasks",
 ]

@@ -12,9 +12,8 @@ The resulting 69-element state vector follows Table 1 of the paper exactly;
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import List, Optional
 
 import numpy as np
 
@@ -93,17 +92,40 @@ LOSS_INFLIGHT_INDICES = [  # "rows 41-58": inflight_* and lost_* blocks
 ]
 
 
-def _stats(window: Deque[float]) -> List[float]:
-    if not window:
-        return [0.0, 0.0, 0.0]
-    mn, mx, total = float("inf"), float("-inf"), 0.0
-    for v in window:
-        if v < mn:
-            mn = v
-        if v > mx:
-            mx = v
-        total += v
-    return [total / len(window), mn, mx]
+#: the six windowed signals, in Table-1 block order
+_N_SIGNALS = 6
+
+
+class _SignalRing:
+    """Fixed-size history of the six windowed signals, no per-tick allocs.
+
+    One ``(6, 2 * capacity)`` array holds every signal's last ``capacity``
+    samples twice (the classic mirrored ring): the newest ``k`` samples of
+    all six signals are always one contiguous 2-D slice, so window stats
+    are three vectorized reductions instead of thousands of Python-loop
+    iterations per tick.
+    """
+
+    __slots__ = ("buf", "cap", "n", "pos")
+
+    def __init__(self, capacity: int) -> None:
+        self.buf = np.zeros((_N_SIGNALS, 2 * capacity))
+        self.cap = capacity
+        self.n = 0  # samples stored, saturates at cap
+        self.pos = 0  # next write column in [0, cap)
+
+    def append(self, values: List[float]) -> None:
+        self.buf[:, self.pos] = values
+        self.buf[:, self.pos + self.cap] = self.buf[:, self.pos]
+        self.pos = (self.pos + 1) % self.cap
+        if self.n < self.cap:
+            self.n += 1
+
+    def window(self, k: int) -> np.ndarray:
+        """The newest ``min(k, n)`` samples of every signal, ``(6, k')``."""
+        k = min(k, self.n)
+        end = self.pos + self.cap
+        return self.buf[:, end - k : end]
 
 
 class GRUnit:
@@ -113,16 +135,26 @@ class GRUnit:
     69-dim state (raw units) and the action ``cwnd_t / cwnd_{t-1}``.
     """
 
+    __slots__ = (
+        "sender",
+        "windows",
+        "_ring",
+        "_sample_buf",
+        "_last_tick_time",
+        "_last_cwnd",
+        "_last_rtt",
+        "_last_dr",
+        "_last_dr_max",
+        "_last_lost_bytes",
+        "_last_delivered",
+        "_last_action",
+    )
+
     def __init__(self, sender: TcpSender, windows: WindowConfig = None) -> None:
         self.sender = sender
         self.windows = windows if windows is not None else WindowConfig()
-        w = self.windows
-        self._rtt: Deque[float] = deque(maxlen=w.large)
-        self._thr: Deque[float] = deque(maxlen=w.large)
-        self._rtt_rate: Deque[float] = deque(maxlen=w.large)
-        self._rtt_var: Deque[float] = deque(maxlen=w.large)
-        self._inflight: Deque[float] = deque(maxlen=w.large)
-        self._lost: Deque[float] = deque(maxlen=w.large)
+        self._ring = _SignalRing(self.windows.large)
+        self._sample_buf = [0.0] * _N_SIGNALS  # reused per tick
         self._last_tick_time = None
         self._last_cwnd = max(sender.cwnd, 1.0)
         self._last_rtt = 0.0
@@ -133,25 +165,16 @@ class GRUnit:
         self._last_action = 1.0
 
     # ------------------------------------------------------------------
-    def _window_view(self, dq: Deque[float], n: int) -> Deque[float]:
-        if len(dq) <= n:
-            return dq
-        return deque(list(dq)[-n:])
-
-    def _blocks(self, dq: Deque[float]) -> List[float]:
-        w = self.windows
-        out: List[float] = []
-        for n in (w.small, w.medium, w.large):
-            out.extend(_stats(self._window_view(dq, n)))
-        return out
-
-    # ------------------------------------------------------------------
-    def tick(self) -> tuple:
+    def tick(self, out: Optional[np.ndarray] = None) -> tuple:
         """Sample the socket; returns ``(state_vector, action)``.
 
         The action is the cwnd ratio *since the previous tick* — i.e. what
         the underlying scheme did during the last interval, which is exactly
         the paper's generalized output representation.
+
+        ``out``: optional preallocated ``(69,)`` float64 buffer the state is
+        written into (and returned) — rollout runners pass rows of one big
+        trajectory array so the hot loop allocates nothing per tick.
         """
         s = self.sender
         now = s.loop.now
@@ -182,42 +205,50 @@ class GRUnit:
         bdp_cwnd = bdp_pkts / max(s.cwnd, 1.0)
         cwnd_unacked_rate = s.inflight / max(s.sent_packets, 1)
 
-        # -- push per-tick raw samples into the windows --
-        self._rtt.append(srtt)
-        self._thr.append(thr)
-        self._rtt_rate.append(rtt_rate)
-        self._rtt_var.append(rttvar)
-        self._inflight.append(float(s.inflight_bytes))
-        self._lost.append(float(new_lost_bytes))
+        # -- push per-tick raw samples into the shared ring --
+        sample = self._sample_buf
+        sample[0] = srtt
+        sample[1] = thr
+        sample[2] = rtt_rate
+        sample[3] = rttvar
+        sample[4] = float(s.inflight_bytes)
+        sample[5] = float(new_lost_bytes)
+        self._ring.append(sample)
 
-        state = np.array(
-            [srtt, rttvar, thr, float(s.ca_state)]
-            + self._blocks(self._rtt)
-            + self._blocks(self._thr)
-            + self._blocks(self._rtt_rate)
-            + self._blocks(self._rtt_var)
-            + self._blocks(self._inflight)
-            + self._blocks(self._lost)
-            + [
-                time_delta,
-                rtt_rate,
-                loss_db,
-                acked_rate,
-                dr_ratio,
-                bdp_cwnd,
-                dr,
-                cwnd_unacked_rate,
-                dr_max,
-                dr_max_ratio,
-                self._last_action,
-            ],
-            dtype=np.float64,
-        )
+        state = out if out is not None else np.empty(STATE_DIM)
+        state[0] = srtt
+        state[1] = rttvar
+        state[2] = thr
+        state[3] = float(s.ca_state)
+        # Six 9-element blocks: [avg, min, max] per window per signal. Three
+        # vectorized reductions per window cover all six signals at once.
+        w = self.windows
+        span = _N_SIGNALS * 9
+        for wi, k in enumerate((w.small, w.medium, w.large)):
+            win = self._ring.window(k)
+            base = 4 + 3 * wi  # offset of this window's stats inside a block
+            state[base : base + span : 9] = win.mean(axis=1)
+            state[base + 1 : base + 1 + span : 9] = win.min(axis=1)
+            state[base + 2 : base + 2 + span : 9] = win.max(axis=1)
+        state[58] = time_delta
+        state[59] = rtt_rate
+        state[60] = loss_db
+        state[61] = acked_rate
+        state[62] = dr_ratio
+        state[63] = bdp_cwnd
+        state[64] = dr
+        state[65] = cwnd_unacked_rate
+        state[66] = dr_max
+        state[67] = dr_max_ratio
+        state[68] = self._last_action
 
         # -- output representation: cwnd ratio over the last interval --
         cwnd_now = max(s.cwnd, 1.0)
         action = cwnd_now / self._last_cwnd
-        action = float(np.clip(action, 1.0 / 3.0, 3.0))
+        if action < 1.0 / 3.0:
+            action = 1.0 / 3.0
+        elif action > 3.0:
+            action = 3.0
 
         self._last_cwnd = cwnd_now
         self._last_rtt = srtt if srtt > 0 else self._last_rtt

@@ -1,0 +1,424 @@
+"""Parallel Policy-Collector engine: fan rollouts across worker processes.
+
+Sage's premise is data-scale — the paper rolls 13 kernel heuristics through
+>1000 emulated environments to build the offline pool — and every rollout is
+embarrassingly parallel: one environment, one flow, no shared state. This
+module is the fan-out layer the rest of the repo sits on:
+
+- :func:`run_tasks` — the generic engine. Takes a list of picklable tasks
+  and a module-level task function, spreads chunks of tasks over a
+  ``ProcessPoolExecutor``, and returns results *in task order* together
+  with a :class:`CollectionReport`. ``workers=1`` bypasses the executor
+  entirely and runs in-process (exactly the historical serial path).
+- :func:`make_rollout_tasks` / :func:`collect_rollouts` /
+  :func:`collect_pool_parallel` — the Policy-Collector specialization:
+  ``(scheme, env)`` product, deterministic per-task seeds, and a
+  :class:`~repro.collector.pool.PolicyPool` assembled in the same order the
+  serial nested loop would produce.
+
+Determinism
+-----------
+Scheme rollouts are pure functions of ``(env, scheme)`` — every source of
+randomness (traces, AQMs, jitter) is seeded from the :class:`EnvConfig` —
+so a pool collected with ``workers=N`` is bit-identical to ``workers=1``.
+Tasks additionally carry a seed derived only from ``(base_seed, index)``
+(never from worker identity or scheduling), so stochastic task functions
+(e.g. sampling agents) stay deterministic under any worker count.
+
+Crash recovery
+--------------
+A failed task — whether its function raised or its worker process died —
+is retried once in a fresh round and then *reported*, never silently
+dropped: the result slot stays ``None`` and the failure (with its error
+text) is listed in ``CollectionReport.failures``. Pool builders treat any
+failure as an error by default (``strict=True``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.collector.environments import EnvConfig
+from repro.collector.gr_unit import WindowConfig
+from repro.collector.pool import PolicyPool
+from repro.collector.rewards import DEFAULT_REWARDS, RewardConfig
+from repro.collector.rollout import TICK, collect_trajectory
+
+
+def default_workers() -> int:
+    """The default worker count: one per CPU."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-task seed from ``(base_seed, index)`` only.
+
+    SplitMix64-style finalizer: adjacent indices map to well-separated
+    32-bit seeds, and the mapping is independent of worker count, chunking,
+    and completion order.
+    """
+    z = (base_seed * 0x9E3779B97F4A7C15 + index + 1) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------
+# Task and report types
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RolloutTask:
+    """One ``(scheme, env)`` collection job."""
+
+    index: int
+    env: EnvConfig
+    scheme: str
+    seed: int = 0
+    windows: Optional[WindowConfig] = None
+    rewards: Optional[RewardConfig] = None  # None -> DEFAULT_REWARDS
+    tick: float = TICK
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme} on {self.env.env_id}"
+
+
+@dataclass
+class TaskFailure:
+    """A task that failed its initial attempt and its retry."""
+
+    index: int
+    label: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class ProgressEvent:
+    """Passed to the progress callback after every completed task."""
+
+    done: int
+    total: int
+    label: str
+    elapsed: float  # seconds since the engine started
+    throughput: float  # completed tasks per second so far
+    retried: bool = False  # True if this task needed a second attempt
+
+
+@dataclass
+class CollectionReport:
+    """What a :func:`run_tasks` call did: timing, retries, failures."""
+
+    total: int
+    workers: int
+    chunksize: int
+    elapsed: float = 0.0
+    n_retried: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.total - len(self.failures)
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per second of wall clock."""
+        return self.completed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            lines = [
+                f"{len(self.failures)}/{self.total} collection tasks failed "
+                f"after {self.failures[0].attempts} attempts:"
+            ]
+            lines += [f"  - {f.label}: {f.error}" for f in self.failures]
+            raise RuntimeError("\n".join(lines))
+
+
+class CollectionError(RuntimeError):
+    """Raised by strict pool builders when tasks failed permanently."""
+
+
+# --------------------------------------------------------------------------
+# Worker-side functions (must be module-level so they pickle)
+# --------------------------------------------------------------------------
+
+
+def _run_rollout_task(task: RolloutTask):
+    """Default task function: record one scheme x environment trajectory."""
+    return collect_trajectory(
+        task.env,
+        task.scheme,
+        windows=task.windows,
+        rewards=task.rewards if task.rewards is not None else DEFAULT_REWARDS,
+        tick=task.tick,
+    )
+
+
+def _run_chunk(fn: Callable, chunk: List[Tuple[int, Any]]) -> List[Tuple[int, bool, Any]]:
+    """Run a chunk of tasks in one worker; capture per-task exceptions.
+
+    Returns ``(index, ok, payload)`` triples, where ``payload`` is the task
+    result on success and the error string on failure — one bad task must
+    not take its chunk-mates down with it.
+    """
+    out: List[Tuple[int, bool, Any]] = []
+    for index, task in chunk:
+        try:
+            out.append((index, True, fn(task)))
+        except BaseException as exc:  # noqa: BLE001 - reported, never dropped
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            out.append((index, False, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+def _auto_chunksize(n_tasks: int, workers: int) -> int:
+    """Chunks big enough to amortize IPC, small enough to balance load."""
+    return max(1, min(8, n_tasks // (workers * 4) or 1))
+
+
+def run_tasks(
+    tasks: Sequence[Any],
+    fn: Callable = _run_rollout_task,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+) -> Tuple[List[Any], CollectionReport]:
+    """Run ``fn`` over every task, fanning across worker processes.
+
+    Parameters
+    ----------
+    tasks:
+        Picklable task objects; results come back in the same order.
+    fn:
+        Module-level callable applied to each task in a worker process.
+    workers:
+        Process count; ``None`` means one per CPU; ``1`` runs everything
+        in-process with no executor (the historical serial path).
+    chunksize:
+        Tasks per worker dispatch; ``None`` picks a balanced default.
+    progress:
+        Called with a :class:`ProgressEvent` after every completed task.
+
+    Returns
+    -------
+    ``(results, report)`` — ``results[i]`` is ``fn(tasks[i])``, or ``None``
+    if the task failed twice (see ``report.failures``).
+    """
+    n = len(tasks)
+    workers = default_workers() if workers is None else max(int(workers), 1)
+    workers = min(workers, n) if n else 1
+    chunksize = _auto_chunksize(n, workers) if chunksize is None else max(chunksize, 1)
+    report = CollectionReport(total=n, workers=workers, chunksize=chunksize)
+    results: List[Any] = [None] * n
+    started = time.perf_counter()
+    done = 0
+
+    def _emit(index: int, retried: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            elapsed = time.perf_counter() - started
+            label = getattr(tasks[index], "label", f"task {index}")
+            progress(
+                ProgressEvent(
+                    done=done,
+                    total=n,
+                    label=label,
+                    elapsed=elapsed,
+                    throughput=done / elapsed if elapsed > 0 else 0.0,
+                    retried=retried,
+                )
+            )
+
+    if n == 0:
+        return results, report
+
+    if workers == 1:
+        # In-process serial path: identical to the historical nested loop,
+        # with the same retry-once-then-report contract as the pool path.
+        for i, task in enumerate(tasks):
+            attempt_errors: List[str] = []
+            for _attempt in range(2):
+                try:
+                    results[i] = fn(task)
+                    break
+                except BaseException as exc:  # noqa: BLE001
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    attempt_errors.append(f"{type(exc).__name__}: {exc}")
+            else:
+                report.failures.append(
+                    TaskFailure(
+                        index=i,
+                        label=getattr(task, "label", f"task {i}"),
+                        error=attempt_errors[-1],
+                        attempts=2,
+                    )
+                )
+                continue
+            if attempt_errors:
+                report.n_retried += 1
+            _emit(i, retried=bool(attempt_errors))
+        report.elapsed = time.perf_counter() - started
+        return results, report
+
+    # Round 1: chunked fan-out. Round 2: failed tasks, one per chunk, in a
+    # fresh executor (a crashed worker poisons its whole executor).
+    pending: List[Tuple[int, Any]] = list(enumerate(tasks))
+    last_error: dict = {}
+    for round_no in range(2):
+        if not pending:
+            break
+        size = chunksize if round_no == 0 else 1
+        chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+        retry_next: List[Tuple[int, Any]] = []
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        try:
+            futures = {}
+            for chunk in chunks:
+                try:
+                    futures[executor.submit(_run_chunk, fn, chunk)] = chunk
+                except BaseException as exc:  # pool broke during submission
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    for index, task in chunk:
+                        last_error[index] = (
+                            f"worker pool broken ({type(exc).__name__}: {exc})"
+                        )
+                        retry_next.append((index, task))
+            for fut in as_completed(futures):
+                chunk = futures[fut]
+                try:
+                    triples = fut.result()
+                except BaseException as exc:  # worker process died
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    for index, task in chunk:
+                        last_error[index] = (
+                            f"worker process crashed ({type(exc).__name__}: {exc})"
+                        )
+                        retry_next.append((index, task))
+                    continue
+                for index, ok, payload in triples:
+                    if ok:
+                        results[index] = payload
+                        retried = round_no > 0
+                        if retried:
+                            report.n_retried += 1
+                        _emit(index, retried=retried)
+                    else:
+                        last_error[index] = payload
+                        retry_next.append((index, tasks[index]))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        pending = retry_next
+
+    for index, task in pending:  # failed the initial attempt and the retry
+        report.failures.append(
+            TaskFailure(
+                index=index,
+                label=getattr(task, "label", f"task {index}"),
+                error=last_error.get(index, "unknown error"),
+                attempts=2,
+            )
+        )
+    report.failures.sort(key=lambda f: f.index)
+    report.elapsed = time.perf_counter() - started
+    return results, report
+
+
+# --------------------------------------------------------------------------
+# Policy-Collector specialization
+# --------------------------------------------------------------------------
+
+
+def make_rollout_tasks(
+    environments: Sequence[EnvConfig],
+    schemes: Sequence[str],
+    windows: Optional[WindowConfig] = None,
+    rewards: Optional[RewardConfig] = None,
+    tick: float = TICK,
+    base_seed: int = 0,
+) -> List[RolloutTask]:
+    """The ``(env, scheme)`` product in the serial nested-loop order."""
+    tasks: List[RolloutTask] = []
+    for env in environments:
+        for scheme in schemes:
+            index = len(tasks)
+            tasks.append(
+                RolloutTask(
+                    index=index,
+                    env=env,
+                    scheme=scheme,
+                    seed=derive_seed(base_seed, index),
+                    windows=windows,
+                    rewards=rewards,
+                    tick=tick,
+                )
+            )
+    return tasks
+
+
+def collect_rollouts(
+    tasks: Sequence[RolloutTask],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+    strict: bool = True,
+) -> Tuple[List[Any], CollectionReport]:
+    """Run rollout tasks; with ``strict`` any permanent failure raises."""
+    results, report = run_tasks(
+        tasks, fn=_run_rollout_task, workers=workers,
+        chunksize=chunksize, progress=progress,
+    )
+    if strict and report.failures:
+        try:
+            report.raise_on_failure()
+        except RuntimeError as exc:
+            raise CollectionError(str(exc)) from None
+    return results, report
+
+
+def collect_pool_parallel(
+    environments: Sequence[EnvConfig],
+    schemes: Sequence[str],
+    windows: Optional[WindowConfig] = None,
+    tick: float = TICK,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+    base_seed: int = 0,
+    strict: bool = True,
+) -> PolicyPool:
+    """Build the pool of policies across workers.
+
+    The returned pool is bit-identical to the serial
+    ``for env: for scheme: collect_trajectory`` loop for the same inputs,
+    whatever ``workers`` is — rollouts are deterministic given their
+    :class:`EnvConfig` and results are assembled in task order.
+    """
+    tasks = make_rollout_tasks(
+        environments, schemes, windows=windows, tick=tick, base_seed=base_seed
+    )
+    results, _report = collect_rollouts(
+        tasks, workers=workers, chunksize=chunksize,
+        progress=progress, strict=strict,
+    )
+    pool = PolicyPool()
+    for rollout in results:
+        if rollout is not None:
+            pool.add_rollout(rollout)
+    return pool

@@ -46,10 +46,12 @@ class PolicyPool:
 
     def __init__(self, trajectories: Optional[List[Trajectory]] = None) -> None:
         self.trajectories: List[Trajectory] = list(trajectories or [])
+        self._concat = None  # lazy (states, actions, rewards, offsets, lengths)
 
     # ------------------------------------------------------------------
     def add(self, traj: Trajectory) -> None:
         self.trajectories.append(traj)
+        self._concat = None
 
     def add_rollout(self, rollout) -> None:
         """Append a :class:`~repro.collector.rollout.RolloutResult`."""
@@ -88,6 +90,34 @@ class PolicyPool:
         return PolicyPool([t for t in self.trajectories if predicate(t.env_id)])
 
     # ------------------------------------------------------------------
+    def _concat_arrays(self):
+        """Concatenated trajectory arrays for vectorized window sampling.
+
+        Built lazily on first sample and invalidated by :meth:`add`. Windows
+        never cross trajectory boundaries because starts are drawn within
+        each trajectory's own span before adding its offset.
+        """
+        if self._concat is None:
+            trajs = self.trajectories
+            lengths = np.array([t.length for t in trajs], dtype=np.int64)
+            offsets = np.zeros(len(trajs), dtype=np.int64)
+            if len(trajs) > 1:
+                offsets[1:] = np.cumsum(lengths[:-1])
+            self._concat = (
+                np.concatenate([t.states for t in trajs])
+                if trajs
+                else np.empty((0, 0)),
+                np.concatenate([t.actions for t in trajs])
+                if trajs
+                else np.empty(0),
+                np.concatenate([t.rewards for t in trajs])
+                if trajs
+                else np.empty(0),
+                offsets,
+                lengths,
+            )
+        return self._concat
+
     def sample_sequences(
         self,
         batch_size: int,
@@ -101,31 +131,30 @@ class PolicyPool:
         ``states (B, L, D)``, ``actions (B, L)``, ``rewards (B, L)``,
         ``next_states (B, L, D)``. Trajectories shorter than ``seq_len + 1``
         are skipped.
+
+        The whole batch is one fancy-indexed gather from cached concatenated
+        arrays — no per-window Python loop.
         """
-        eligible = [t for t in self.trajectories if t.length > seq_len]
-        if not eligible:
+        big_s, big_a, big_r, offsets, lengths = self._concat_arrays()
+        slack = lengths - seq_len  # number of valid window starts per traj
+        eligible = np.nonzero(slack > 0)[0]
+        if eligible.size == 0:
             raise ValueError(
                 f"no trajectory longer than seq_len+1={seq_len + 1} in the pool"
             )
-        lengths = np.array([t.length - seq_len for t in eligible], dtype=float)
-        probs = lengths / lengths.sum()
-        idx = rng.choice(len(eligible), size=batch_size, p=probs)
-        states, actions, rewards, next_states = [], [], [], []
-        for i in idx:
-            traj = eligible[i]
-            start = rng.integers(0, traj.length - seq_len)
-            s = traj.states[start : start + seq_len + 1]
-            if normalize is not None:
-                s = normalize(s)
-            states.append(s[:-1])
-            next_states.append(s[1:])
-            actions.append(traj.actions[start : start + seq_len])
-            rewards.append(traj.rewards[start : start + seq_len])
+        weights = slack[eligible].astype(float)
+        probs = weights / weights.sum()
+        idx = eligible[rng.choice(eligible.size, size=batch_size, p=probs)]
+        starts = offsets[idx] + rng.integers(0, slack[idx])
+        rows = starts[:, None] + np.arange(seq_len + 1)
+        s = big_s[rows]  # (B, L + 1, D)
+        if normalize is not None:
+            s = normalize(s)
         return {
-            "states": np.stack(states),
-            "actions": np.stack(actions),
-            "rewards": np.stack(rewards),
-            "next_states": np.stack(next_states),
+            "states": s[:, :-1],
+            "actions": big_a[rows[:, :-1]],
+            "rewards": big_r[rows[:, :-1]],
+            "next_states": s[:, 1:],
         }
 
     # ------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import List, Optional, Protocol
 import numpy as np
 
 from repro.collector.environments import EnvConfig, build_network
-from repro.collector.gr_unit import GRUnit, WindowConfig
+from repro.collector.gr_unit import GRUnit, STATE_DIM, WindowConfig
 from repro.collector.rewards import (
     RewardConfig,
     DEFAULT_REWARDS,
@@ -113,9 +113,13 @@ def _run(
     flow.start()
 
     gr = GRUnit(flow.sender, windows=windows)
-    states: List[np.ndarray] = []
-    actions: List[float] = []
-    reward_list: List[float] = []
+    # Preallocate the trajectory arrays: the tick count is known up front
+    # (give or take float accumulation), so the hot loop writes into array
+    # rows instead of growing Python lists of freshly-allocated vectors.
+    capacity = int(round(env.duration / tick)) + 2
+    states = np.empty((capacity, STATE_DIM))
+    actions = np.empty(capacity)
+    reward_arr = np.empty(capacity)
 
     t = flow.start_at
     prev_bytes = flow.receiver.total_bytes
@@ -126,19 +130,27 @@ def _run(
     while t < end - 1e-9:
         t += tick
         loop.run_until(t)
-        state, action = gr.tick()
+        if n_ticks >= capacity:  # float-accumulation overshoot; rare
+            capacity *= 2
+            states = np.concatenate([states, np.empty_like(states)])
+            actions = np.concatenate([actions, np.empty_like(actions)])
+            reward_arr = np.concatenate([reward_arr, np.empty_like(reward_arr)])
+        state, action = gr.tick(out=states[n_ticks])
         if agent is not None:
             ratio = float(agent.act(state))
-            ratio = float(np.clip(ratio, 1.0 / 3.0, 3.0))
+            if ratio < 1.0 / 3.0:
+                ratio = 1.0 / 3.0
+            elif ratio > 3.0:
+                ratio = 3.0
             flow.sender.set_cwnd(flow.sender.cwnd * ratio)
             action = ratio
             gr._last_cwnd = max(flow.sender.cwnd, 1.0)
-        r = _reward_for(env, flow, prev_bytes, prev_lost, tick, rewards)
+        actions[n_ticks] = action
+        reward_arr[n_ticks] = _reward_for(
+            env, flow, prev_bytes, prev_lost, tick, rewards
+        )
         prev_bytes = flow.receiver.total_bytes
         prev_lost = flow.sender.lost_bytes
-        states.append(state)
-        actions.append(action)
-        reward_list.append(r)
         n_ticks += 1
         if n_ticks % sample_every == 0:
             flow.sample()
@@ -152,9 +164,9 @@ def _run(
     return RolloutResult(
         env=env,
         scheme=flow.cc.name if agent is None else getattr(agent, "name", "agent"),
-        states=np.asarray(states),
-        actions=np.asarray(actions),
-        rewards=np.asarray(reward_list),
+        states=states[:n_ticks].copy(),
+        actions=actions[:n_ticks].copy(),
+        rewards=reward_arr[:n_ticks].copy(),
         stats=flow.stats(),
         competitor_stats=[c.stats() for c in competitors],
     )

@@ -19,7 +19,6 @@ import numpy as np
 from repro.collector.environments import EnvConfig, training_environments
 from repro.collector.gr_unit import WindowConfig
 from repro.collector.pool import PolicyPool
-from repro.collector.rollout import collect_trajectory
 from repro.core.agent import SageAgent
 from repro.core.crr import CRRConfig, CRRTrainer
 from repro.core.networks import NetworkConfig
@@ -53,18 +52,33 @@ def collect_pool(
     windows: Optional[WindowConfig] = None,
     tick: float = 0.02,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+    chunksize: Optional[int] = None,
 ) -> PolicyPool:
-    """Phase 1: build the pool of policies (collection happens once)."""
+    """Phase 1: build the pool of policies (collection happens once).
+
+    ``workers`` fans the ``(env, scheme)`` rollouts across processes via
+    :mod:`repro.collector.parallel`; the resulting pool is bit-identical to
+    the serial one (``workers=1``, the default) for the same environments
+    and schemes. ``workers=None`` uses one process per CPU.
+    """
+    from repro.collector.parallel import collect_pool_parallel
+
     envs = list(environments) if environments is not None else training_environments("mini")
     schemes = list(schemes) if schemes is not None else list(POOL_SCHEMES)
-    pool = PolicyPool()
-    for env in envs:
-        for scheme in schemes:
-            rollout = collect_trajectory(env, scheme, windows=windows, tick=tick)
-            pool.add_rollout(rollout)
-            if progress is not None:
-                progress(f"collected {scheme} on {env.env_id}")
-    return pool
+    return collect_pool_parallel(
+        envs,
+        schemes,
+        windows=windows,
+        tick=tick,
+        workers=workers,
+        chunksize=chunksize,
+        progress=(
+            None
+            if progress is None
+            else (lambda ev: progress(f"collected {ev.label}"))
+        ),
+    )
 
 
 def train_sage_on_pool(
@@ -103,9 +117,10 @@ def train_sage(
     net_config: Optional[NetworkConfig] = None,
     crr_config: Optional[CRRConfig] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> TrainingRun:
     """Convenience wrapper: collect a pool at ``scale`` and train on it."""
-    pool = collect_pool(training_environments(scale), schemes=schemes)
+    pool = collect_pool(training_environments(scale), schemes=schemes, workers=workers)
     return train_sage_on_pool(
         pool,
         n_steps=n_steps,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.collector.environments import EnvConfig, set1_environments, set2_environments
+from repro.collector.parallel import derive_seed, run_tasks
 from repro.collector.rollout import RolloutResult, collect_trajectory, run_policy
 from repro.evalx.scores import ScoreEntry, interval_scores, winning_rates
 from repro.tcp.cc_base import DELAY_LEAGUE, POOL_SCHEMES
@@ -79,6 +80,67 @@ def run_participant(participant: Participant, env: EnvConfig, tick: float = 0.02
     return result
 
 
+@dataclass(frozen=True)
+class LeagueTask:
+    """One (participant, env) rollout for the parallel engine."""
+
+    index: int
+    participant: Participant
+    env: EnvConfig
+    tick: float
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.participant.name} on {self.env.env_id}"
+
+
+def _run_league_task(task: LeagueTask) -> RolloutResult:
+    """Worker-side: reseed stochastic agents from the task seed, then play.
+
+    Reseeding makes agent rollouts a pure function of ``(base_seed, index)``
+    so a parallel league is deterministic under any worker count; kernel
+    schemes carry no RNG and are bit-identical to the serial runner.
+    """
+    import numpy as np
+
+    agent = task.participant.agent
+    if agent is not None and hasattr(agent, "rng"):
+        agent.rng = np.random.default_rng(task.seed)
+    return run_participant(task.participant, task.env, tick=task.tick)
+
+
+def _run_matches(
+    participants: Sequence[Participant],
+    envs: Sequence[EnvConfig],
+    tick: float,
+    workers: Optional[int],
+    progress,
+    base_seed: int = 0,
+) -> List[RolloutResult]:
+    """Every participant through every env, fanned across workers."""
+    tasks = [
+        LeagueTask(
+            index=i,
+            participant=p,
+            env=env,
+            tick=tick,
+            seed=derive_seed(base_seed, i),
+        )
+        for i, (env, p) in enumerate(
+            (env, p) for env in envs for p in participants
+        )
+    ]
+    results, report = run_tasks(
+        tasks,
+        fn=_run_league_task,
+        workers=workers,
+        progress=(None if progress is None else (lambda ev: progress(ev.label))),
+    )
+    report.raise_on_failure()
+    return results
+
+
 def run_league(
     participants: Sequence[Participant],
     set1: Optional[Sequence[EnvConfig]] = None,
@@ -88,8 +150,16 @@ def run_league(
     n_intervals: int = 4,
     tick: float = 0.02,
     progress=None,
+    workers: int = 1,
 ) -> LeagueResult:
-    """Run the full league and compute winning rates for both sets."""
+    """Run the full league and compute winning rates for both sets.
+
+    ``workers`` fans the (participant, env) rollouts across processes.
+    Kernel-scheme results are bit-identical to the serial runner; agent
+    rollouts reseed the agent's RNG per task, so parallel leagues are
+    deterministic for any worker count (but stochastic agents draw a
+    different — equally valid — action sequence than the serial path).
+    """
     if set1 is None:
         set1 = set1_environments(
             bws=(24.0, 48.0), rtts=(0.02, 0.06), buffers=(1.0, 4.0),
@@ -101,15 +171,24 @@ def run_league(
         )
     set1_entries: List[ScoreEntry] = []
     set2_entries: List[ScoreEntry] = []
-    for env_list, sink in ((set1, set1_entries), (set2, set2_entries)):
-        for env in env_list:
-            for p in participants:
-                result = run_participant(p, env, tick=tick)
+    if workers is not None and workers == 1:
+        for env_list, sink in ((set1, set1_entries), (set2, set2_entries)):
+            for env in env_list:
+                for p in participants:
+                    result = run_participant(p, env, tick=tick)
+                    sink.extend(
+                        interval_scores(result, alpha=alpha, n_intervals=n_intervals)
+                    )
+                    if progress is not None:
+                        progress(f"{p.name} on {env.env_id}")
+    else:
+        for env_list, sink in ((set1, set1_entries), (set2, set2_entries)):
+            for result in _run_matches(
+                participants, env_list, tick, workers, progress
+            ):
                 sink.extend(
                     interval_scores(result, alpha=alpha, n_intervals=n_intervals)
                 )
-                if progress is not None:
-                    progress(f"{p.name} on {env.env_id}")
     return LeagueResult(
         set1_rates=winning_rates(set1_entries, margin=margin),
         set2_rates=winning_rates(set2_entries, margin=margin),

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import Dict
 
@@ -20,7 +21,26 @@ def save_params(module: Module, path) -> None:
 
 
 def load_params(module: Module, path) -> None:
-    """Load a state dict produced by :func:`save_params` into ``module``."""
-    with np.load(Path(path)) as data:
-        state: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
+    """Load a state dict produced by :func:`save_params` into ``module``.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a valid ``.npz`` archive (truncated download,
+        interrupted save, ...) — names the offending file and how to rebuild
+        it rather than surfacing a bare ``zipfile.BadZipFile``.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            state: Dict[str, np.ndarray] = {k: data[k] for k in data.files}
+    except (zipfile.BadZipFile, EOFError, ValueError) as exc:
+        # BadZipFile: zip magic present but archive truncated/corrupt.
+        # ValueError: no zip magic at all (np.load mistakes it for a
+        # legacy pickle). Either way the checkpoint is unusable.
+        raise ValueError(
+            f"checkpoint {path} is not a valid .npz archive ({exc}); "
+            f"the file is corrupt or truncated — regenerate it (for the "
+            f"shipped model: python tools/export_pretrained.py)"
+        ) from exc
     module.load_state_dict(state)

@@ -44,6 +44,24 @@ class FlowStats:
 class Flow:
     """Sender/receiver pair attached to a shared :class:`Network`."""
 
+    __slots__ = (
+        "cc",
+        "network",
+        "flow_id",
+        "start_at",
+        "receiver",
+        "sender",
+        "_sample_times",
+        "_thr_samples",
+        "_cwnd_samples",
+        "_rtt_samples",
+        "_owd_samples",
+        "_last_bytes",
+        "_last_sample_t",
+        "_last_owd_sum",
+        "_last_owd_count",
+    )
+
     def __init__(
         self,
         network: Network,

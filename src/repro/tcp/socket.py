@@ -51,6 +51,24 @@ class TcpReceiver:
     signal, and most experiments in the paper's lineage disable delacks.
     """
 
+    __slots__ = (
+        "flow_id",
+        "network",
+        "delayed_acks",
+        "delack_timeout",
+        "_received",
+        "rcv_next",
+        "max_seq_seen",
+        "total_packets",
+        "total_bytes",
+        "owd_sum",
+        "owd_count",
+        "owd_max",
+        "acks_sent",
+        "_delack_pending",
+        "_delack_timer",
+    )
+
     def __init__(
         self,
         flow_id: int,
@@ -177,6 +195,47 @@ class TcpSender:
     The application model is an infinite backlog (bulk transfer), matching
     the paper's experiments.
     """
+
+    __slots__ = (
+        "flow_id",
+        "network",
+        "loop",
+        "cc",
+        "max_cwnd",
+        "cwnd",
+        "ssthresh",
+        "ca_state",
+        "snd_nxt",
+        "snd_una",
+        "_unacked",
+        "_dup_acks",
+        "_recovery_point",
+        "_high_sacked",
+        "_lost_set",
+        "_sacked_est",
+        "srtt",
+        "rttvar",
+        "rto",
+        "min_rtt",
+        "latest_rtt",
+        "delivered",
+        "delivered_bytes",
+        "lost",
+        "lost_bytes",
+        "retransmits",
+        "sent_packets",
+        "delivery_rate",
+        "max_delivery_rate",
+        "_delivered_time",
+        "ecn_ce_acks",
+        "total_acks",
+        "_rto_timer",
+        "_pacing_blocked",
+        "_started",
+        "_stopped",
+        "start_time",
+        "external_cwnd_control",
+    )
 
     def __init__(
         self,

@@ -296,3 +296,16 @@ class TestSerialization:
         load_params(b, tmp_path / "model.npz")
         x = Tensor(RNG.standard_normal((2, 3)))
         np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_corrupt_archive_raises_clear_error(self, tmp_path):
+        # a truncated/garbage checkpoint must not surface a bare BadZipFile
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(b"not a zip archive at all")
+        m = Sequential(Linear(3, 4, RNG))
+        with pytest.raises(ValueError, match="corrupt.npz.*regenerate"):
+            load_params(m, bad)
+
+    def test_missing_file_still_file_not_found(self, tmp_path):
+        m = Sequential(Linear(3, 4, RNG))
+        with pytest.raises(FileNotFoundError):
+            load_params(m, tmp_path / "does_not_exist.npz")

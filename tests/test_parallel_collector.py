@@ -1,0 +1,195 @@
+"""The parallel Policy-Collector engine: determinism, recovery, reporting.
+
+The contract under test:
+
+- a pool collected with ``workers=N`` is element-wise identical to
+  ``workers=1`` (same trajectories, same order);
+- a task whose worker process *dies* is retried once and recovered;
+- a task that fails twice is reported in ``CollectionReport.failures``,
+  never silently dropped.
+"""
+
+import functools
+import os
+
+import numpy as np
+import pytest
+
+from repro.collector.environments import EnvConfig
+from repro.collector.parallel import (
+    CollectionError,
+    CollectionReport,
+    ProgressEvent,
+    collect_pool_parallel,
+    collect_rollouts,
+    derive_seed,
+    make_rollout_tasks,
+    run_tasks,
+)
+
+
+def _mini_envs(n=4):
+    return [
+        EnvConfig(
+            env_id=f"par-{i}", kind="flat", bw_mbps=12.0 + 4.0 * i,
+            min_rtt=0.02 + 0.01 * i, buffer_bdp=2.0, duration=2.0,
+        )
+        for i in range(n)
+    ]
+
+
+# --------------------------------------------------------------------------
+# module-level task functions (must pickle into worker processes)
+# --------------------------------------------------------------------------
+
+
+def _square(task):
+    return task * task
+
+
+def _crash_once(task, marker_dir=None):
+    """Kill the worker process the first time task 2 is seen.
+
+    The marker file makes the crash happen exactly once across processes:
+    the retry (in a fresh worker) finds the marker and succeeds.
+    """
+    if task == 2:
+        marker = os.path.join(marker_dir, "crashed")
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            os._exit(1)  # simulate a hard worker death, not an exception
+    return task * 10
+
+
+def _always_fails(task):
+    if task == 1:
+        raise ValueError(f"task {task} is broken")
+    return task
+
+
+# --------------------------------------------------------------------------
+# determinism
+# --------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_derive_seed_is_pure_and_spread(self):
+        seeds = [derive_seed(42, i) for i in range(100)]
+        assert seeds == [derive_seed(42, i) for i in range(100)]
+        assert len(set(seeds)) == 100  # no collisions on a small range
+        assert all(0 <= s < 2**32 for s in seeds)
+        assert derive_seed(0, 0) != derive_seed(1, 0)
+
+    def test_task_order_matches_serial_nested_loop(self):
+        envs = _mini_envs(2)
+        tasks = make_rollout_tasks(envs, ["cubic", "vegas"])
+        labels = [t.label for t in tasks]
+        assert labels == [
+            "cubic on par-0", "vegas on par-0",
+            "cubic on par-1", "vegas on par-1",
+        ]
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+
+    def test_parallel_pool_identical_to_serial(self):
+        envs = _mini_envs(3)
+        schemes = ["cubic", "vegas"]
+        serial = collect_pool_parallel(envs, schemes, workers=1)
+        parallel = collect_pool_parallel(envs, schemes, workers=2, chunksize=1)
+
+        assert len(serial) == len(parallel) == len(envs) * len(schemes)
+        for ts, tp in zip(serial.trajectories, parallel.trajectories):
+            assert ts.scheme == tp.scheme
+            assert ts.env_id == tp.env_id
+            np.testing.assert_array_equal(ts.states, tp.states)
+            np.testing.assert_array_equal(ts.actions, tp.actions)
+            np.testing.assert_array_equal(ts.rewards, tp.rewards)
+
+    def test_chunking_does_not_change_results(self):
+        tasks = list(range(11))
+        for chunksize in (1, 3, 8):
+            results, report = run_tasks(
+                tasks, fn=_square, workers=2, chunksize=chunksize
+            )
+            assert results == [t * t for t in tasks]
+            assert report.completed == len(tasks)
+            assert not report.failures
+
+
+# --------------------------------------------------------------------------
+# crash recovery and failure reporting
+# --------------------------------------------------------------------------
+
+
+class TestRecovery:
+    def test_worker_crash_is_retried_and_recovered(self, tmp_path):
+        fn = functools.partial(_crash_once, marker_dir=str(tmp_path))
+        tasks = list(range(5))
+        results, report = run_tasks(tasks, fn=fn, workers=2, chunksize=1)
+
+        assert results == [t * 10 for t in tasks]  # nothing lost
+        assert not report.failures
+        assert report.n_retried >= 1  # the crashed task went through round 2
+        assert (tmp_path / "crashed").exists()
+
+    def test_permanent_failure_is_reported_not_dropped(self):
+        tasks = [0, 1, 2]
+        results, report = run_tasks(tasks, fn=_always_fails, workers=2)
+
+        assert results[0] == 0 and results[2] == 2
+        assert results[1] is None
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == 1
+        assert failure.attempts == 2
+        assert "ValueError" in failure.error
+        assert report.completed == 2
+
+    def test_serial_path_has_same_failure_contract(self):
+        results, report = run_tasks([0, 1, 2], fn=_always_fails, workers=1)
+        assert results == [0, None, 2]
+        assert len(report.failures) == 1
+        assert report.failures[0].attempts == 2
+
+    def test_strict_collection_raises_with_labels(self):
+        envs = _mini_envs(1)
+        tasks = make_rollout_tasks(envs, ["cubic", "no-such-scheme"])
+        with pytest.raises(CollectionError, match="no-such-scheme on par-0"):
+            collect_rollouts(tasks, workers=1)
+
+    def test_non_strict_collection_reports_and_continues(self):
+        envs = _mini_envs(1)
+        tasks = make_rollout_tasks(envs, ["cubic", "no-such-scheme"])
+        results, report = collect_rollouts(tasks, workers=1, strict=False)
+        assert results[0] is not None and results[1] is None
+        assert len(report.failures) == 1
+
+
+# --------------------------------------------------------------------------
+# progress reporting
+# --------------------------------------------------------------------------
+
+
+class TestProgress:
+    def test_progress_events_cover_every_task(self):
+        events = []
+        tasks = list(range(6))
+        run_tasks(tasks, fn=_square, workers=2, progress=events.append)
+
+        assert len(events) == len(tasks)
+        assert all(isinstance(ev, ProgressEvent) for ev in events)
+        assert [ev.done for ev in events] == list(range(1, 7))
+        assert all(ev.total == 6 for ev in events)
+        assert all(ev.throughput > 0 for ev in events)
+
+    def test_report_throughput_and_elapsed(self):
+        _, report = run_tasks(list(range(4)), fn=_square, workers=1)
+        assert isinstance(report, CollectionReport)
+        assert report.elapsed > 0
+        assert report.throughput > 0
+        assert report.workers == 1
+
+    def test_empty_task_list(self):
+        results, report = run_tasks([], fn=_square, workers=4)
+        assert results == []
+        assert report.total == 0 and not report.failures

@@ -5,7 +5,11 @@ the quadratic-hole-scan and retransmission-storm bugs each produced orders
 of magnitude more events/sends than the fixed code does.
 """
 
+import os
+import time
+
 import numpy as np
+import pytest
 
 from repro.netsim.aqm import TailDrop
 from repro.netsim.engine import EventLoop
@@ -61,3 +65,39 @@ class TestWorkBounds:
         for seq in range(0, 30000, 3):
             recv.on_data(Packet(flow_id=0, seq=seq, sent_time=0.0))
         assert all(len(a.sack_holes) <= 128 for a in acks)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup guard needs at least 2 CPU cores",
+)
+class TestParallelCollection:
+    def test_two_workers_not_slower_than_serial(self):
+        # on a multi-core machine, fanning a 4-env batch over 2 workers must
+        # not lose to the serial loop (some tolerance for process startup)
+        from repro.collector.environments import EnvConfig
+        from repro.collector.parallel import collect_pool_parallel
+
+        envs = [
+            EnvConfig(
+                env_id=f"guard-{i}", kind="flat", bw_mbps=24.0,
+                min_rtt=0.04, buffer_bdp=2.0, duration=4.0,
+            )
+            for i in range(4)
+        ]
+        schemes = ["cubic"]
+
+        t0 = time.perf_counter()
+        serial = collect_pool_parallel(envs, schemes, workers=1)
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = collect_pool_parallel(envs, schemes, workers=2, chunksize=1)
+        parallel_s = time.perf_counter() - t0
+
+        assert len(serial) == len(parallel) == 4
+        # "not slower": allow 25% headroom for executor spin-up on small work
+        assert parallel_s <= serial_s * 1.25, (
+            f"2-worker collection took {parallel_s:.2f}s vs "
+            f"{serial_s:.2f}s serial"
+        )
