@@ -4,8 +4,9 @@ Usage::
 
     python -m repro collect --scale mini --out pool.npz
     python -m repro train   --pool pool.npz --steps 300 --out sage.npz
-    python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz]
+    python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz --serve]
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
+    python -m repro serve-bench --flows 64
 
 Each subcommand wraps the same public API the examples use; nothing here is
 load-bearing beyond argument parsing.
@@ -78,7 +79,10 @@ def _cmd_league(args) -> int:
         agent = _load_agent(
             args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
         )
-        participants.append(Participant.from_agent(agent))
+        if args.serve:
+            participants.append(Participant.from_served(agent.policy))
+        else:
+            participants.append(Participant.from_agent(agent))
     result = run_league(participants, workers=args.workers)
     print(result.format_table())
     return 0
@@ -103,6 +107,24 @@ def _cmd_deploy(args) -> int:
         f"owd={s.avg_owd * 1e3:.1f} ms  loss={s.loss_rate:.4f}  "
         f"mean-reward={float(np.mean(result.rewards)):.3f}"
     )
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.core.networks import NetworkConfig
+    from repro.serve.bench import format_report, run_serve_bench, write_report
+
+    net = NetworkConfig(
+        enc_dim=args.enc_dim, gru_dim=args.gru_dim,
+        n_components=args.components, n_atoms=args.atoms,
+    )
+    result = run_serve_bench(
+        flows=args.flows, ticks=args.ticks, seed=args.seed, net_config=net,
+        with_harness=not args.no_harness,
+    )
+    print(format_report(result))
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -149,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("league", help="rank schemes (and optionally an agent)")
     p.add_argument("--schemes", default="cubic,vegas,bbr2,newreno")
     p.add_argument("--agent", default="")
+    p.add_argument("--serve", action="store_true",
+                   help="route the agent through the serving engine")
     _add_workers_arg(p)
     _add_net_args(p)
     p.set_defaults(func=_cmd_league)
@@ -162,6 +186,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=10.0)
     _add_net_args(p)
     p.set_defaults(func=_cmd_deploy)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="benchmark batched multi-flow serving vs batch=1 agents",
+    )
+    p.add_argument("--flows", type=int, default=64)
+    p.add_argument("--ticks", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-harness", action="store_true", dest="no_harness",
+                   help="skip the end-to-end multi-flow network harness")
+    p.add_argument("--out", default="BENCH_serve.json")
+    _add_net_args(p)
+    p.set_defaults(func=_cmd_serve_bench)
 
     return parser
 

@@ -4,6 +4,16 @@ Wraps a trained :class:`~repro.core.networks.SagePolicy`: at every control
 tick it normalizes the GR state, advances the recurrent hidden state, and
 emits a cwnd ratio. Satisfies the
 :class:`~repro.collector.rollout.PolicyAgent` protocol.
+
+Since the serving engine landed, ``SageAgent`` is a thin client of
+:class:`~repro.serve.engine.PolicyServer`: ``reset()`` opens a single-flow
+serving session (no deadline — offline rollouts always take the fresh
+policy path) and ``act()`` is one ``serve_one`` call. A batch of one rides
+the server's legacy 1-D fast path, so the agent's decision stream —
+including the stochastic deployment mode's RNG consumption — is
+bit-identical to the historical in-process implementation. Multi-flow
+deployments should talk to a shared :class:`PolicyServer` directly (or via
+:class:`~repro.serve.client.ServedAgent`) to get batched inference.
 """
 
 from __future__ import annotations
@@ -29,6 +39,9 @@ class SageAgent:
     mode of the most likely mixture component.
     """
 
+    #: the server-side id of this agent's single flow
+    FLOW_ID = 0
+
     def __init__(
         self,
         policy: SagePolicy,
@@ -43,26 +56,36 @@ class SageAgent:
         self.name = name
         #: optional 0/1 input mask matching the training-time ablation
         self.state_mask = None if state_mask is None else np.asarray(state_mask, float)
-        self._hidden = None
-        self._fast: FastPolicy = None  # rebuilt on reset (weights may train)
+        self._fast: Optional[FastPolicy] = None  # rebuilt on reset (weights may train)
+        self._server = None  # single-flow PolicyServer, opened by reset()
 
     # -- PolicyAgent protocol -------------------------------------------
     def reset(self) -> None:
-        """Clear the GRU hidden state before a fresh connection."""
+        """Snapshot the weights and open a fresh serving session."""
+        # imported here: repro.serve depends on repro.core.networks
+        from repro.serve.engine import PolicyServer, ServeConfig
+
         self._fast = FastPolicy(self.policy)
-        self._hidden = self._fast.initial_state()
+        self._server = PolicyServer(
+            self.policy,
+            ServeConfig(
+                deterministic=self.deterministic,
+                tick_budget=None,
+                state_mask=self.state_mask,
+            ),
+            fast=self._fast,
+        )
+        self._server.connect(self.FLOW_ID, rng=self.rng)
         self._slow_hidden = self.policy.initial_state(1)
 
     def act(self, state: np.ndarray) -> float:
         """Map one raw 69-dim GR state to a cwnd ratio."""
-        x = normalize_state(state)
-        if self.state_mask is not None:
-            x = x * self.state_mask
-        if self.deterministic:
-            ratio, self._hidden = self._fast.step(x, self._hidden)
-        else:
-            ratio, self._hidden = self._fast.sample_step(x, self._hidden, self.rng)
-        return float(ratio)
+        if self._server is None:
+            raise RuntimeError(
+                "SageAgent.act() called before reset(); reset() snapshots the "
+                "policy weights and opens the serving session"
+            )
+        return float(self._server.serve_one(self.FLOW_ID, state).ratio)
 
     # -- analysis hooks ----------------------------------------------------
     def hidden_features(self, state: np.ndarray) -> np.ndarray:

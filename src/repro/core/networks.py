@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.collector.gr_unit import STATE_DIM
 from repro.nn.autograd import Tensor, concat
+from repro.nn.batched import batched_layer_norm, batched_linear, batched_sigmoid
 from repro.nn.gru import GRU
 from repro.nn.heads import (
     LOG_ACTION_HI,
@@ -318,6 +319,97 @@ class FastPolicy:
         u = means[comp] + np.exp(log_std[comp]) * rng.standard_normal()
         ratio = float(np.exp(np.clip(u, LOG_ACTION_LO, LOG_ACTION_HI)))
         return ratio, h
+
+    # -- batched serving path ------------------------------------------
+    # One (N, 69) forward for N concurrent flows. Built on the einsum
+    # kernels in repro.nn.batched, so each row's result is bitwise
+    # identical for any batch size — the serving engine may merge and
+    # split batches freely without changing any flow's decision stream.
+    # (The 1-D step()/sample_step() above use BLAS gemv and differ from
+    # this path by float rounding only.)
+
+    def _blin(self, name: str, x: np.ndarray) -> np.ndarray:
+        return batched_linear(x, self._p[f"{name}.W"], self._p[f"{name}.b"])
+
+    def _bln(self, name: str, x: np.ndarray) -> np.ndarray:
+        return batched_layer_norm(
+            x, self._p[f"{name}.gamma"], self._p[f"{name}.beta"]
+        )
+
+    def initial_state_batch(self, n: int) -> Optional[np.ndarray]:
+        if not self._use_gru:
+            return None
+        return np.zeros((n, self._p["trunk.gru.wz.W"].shape[1]))
+
+    def _forward_batch(
+        self, states: np.ndarray, h: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Trunk + head projection for a ``(N, D)`` batch of states."""
+        x = self._blin(
+            "trunk.enc1b", self._lrelu(self._blin("trunk.enc1a", states))
+        )
+        if self._use_gru:
+            xh = np.concatenate([x, h], axis=-1)
+            z = batched_sigmoid(self._blin("trunk.gru.wz", xh))
+            r = batched_sigmoid(self._blin("trunk.gru.wr", xh))
+            n = np.tanh(
+                self._blin("trunk.gru.wn", np.concatenate([x, r * h], axis=-1))
+            )
+            h = (1.0 - z) * n + z * h
+            g = h
+        else:
+            g = x
+        y = self._lrelu(self._bln("trunk.post_norm", g))
+        if self._use_enc2:
+            y = np.tanh(self._blin("trunk.enc2", y))
+        y = self._lrelu(self._blin("trunk.fc", y))
+        for res in ("trunk.res1", "trunk.res2"):
+            t = self._bln(f"{res}.norm", y)
+            t = self._lrelu(self._blin(f"{res}.fc1", t))
+            y = y + self._blin(f"{res}.fc2", t)
+        return self._blin("head.proj", y), h
+
+    def step_batch(
+        self, states: np.ndarray, h: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Deterministic batched step: ``(N, D), (N, H) -> (N,) ratios, h'``."""
+        out, h = self._forward_batch(states, h)
+        k = self._n_comp
+        logits = out[:, 0:k]
+        means = np.tanh(out[:, k : 2 * k]) * ((LOG_ACTION_HI - LOG_ACTION_LO) / 2.0)
+        comp = np.argmax(logits, axis=-1)
+        picked = means[np.arange(len(means)), comp]
+        ratios = np.exp(np.clip(picked, LOG_ACTION_LO, LOG_ACTION_HI))
+        return ratios, h
+
+    def sample_step_batch(
+        self,
+        states: np.ndarray,
+        h: Optional[np.ndarray],
+        rngs: Sequence[np.random.Generator],
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Stochastic batched step with one RNG per flow.
+
+        The forward pass is batched; the (cheap) mixture draws loop over
+        rows so each flow consumes its own RNG stream exactly as the 1-D
+        ``sample_step`` would — a flow's sample sequence is independent of
+        which other flows share its batch.
+        """
+        out, h = self._forward_batch(states, h)
+        k = self._n_comp
+        logits = out[:, 0:k]
+        means = np.tanh(out[:, k : 2 * k]) * ((LOG_ACTION_HI - LOG_ACTION_LO) / 2.0)
+        log_std = np.clip(
+            out[:, 2 * k : 3 * k], self._log_std_min, self._log_std_max
+        )
+        w = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        w /= w.sum(axis=-1, keepdims=True)
+        ratios = np.empty(len(states))
+        for i, rng in enumerate(rngs):
+            comp = int(rng.choice(k, p=w[i]))
+            u = means[i, comp] + np.exp(log_std[i, comp]) * rng.standard_normal()
+            ratios[i] = np.exp(np.clip(u, LOG_ACTION_LO, LOG_ACTION_HI))
+        return ratios, h
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:

@@ -45,6 +45,23 @@ class Participant:
     def from_agent(cls, agent, name: Optional[str] = None) -> "Participant":
         return cls(name=name or getattr(agent, "name", "agent"), agent=agent)
 
+    @classmethod
+    def from_served(
+        cls, policy, name: Optional[str] = None, **serve_kwargs
+    ) -> "Participant":
+        """Enter a policy through the serving engine (`repro.serve`).
+
+        The rollout then exercises the production path — batched-capable
+        server, deadline/fallback machinery, serving metrics — instead of
+        the in-process agent. ``serve_kwargs`` are forwarded to
+        :class:`~repro.serve.client.ServedAgent` (e.g. ``deterministic=``,
+        ``config=ServeConfig(...)``).
+        """
+        from repro.serve.client import ServedAgent
+
+        agent = ServedAgent(policy, **serve_kwargs)
+        return cls(name=name or agent.name, agent=agent)
+
 
 @dataclass
 class LeagueResult:

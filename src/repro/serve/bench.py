@@ -1,0 +1,155 @@
+"""Serving-throughput benchmark core (shared by CLI and benchmarks/).
+
+Measures flows/sec of the Execution block two ways over the same synthetic
+state stream:
+
+- **batch=1**: N independent :class:`SageAgent` instances, one forward per
+  flow per tick — the pre-serving deployment model;
+- **batched**: one :class:`PolicyServer` with N connected flows, one
+  ``(N, 69)`` forward per tick.
+
+Both run the policy in deterministic mode so the decision streams are
+directly comparable (batched vs serial agree to float rounding; the bitwise
+batch-composition guarantee is enforced by ``tests/test_serve.py``).
+Optionally also runs the end-to-end multi-flow network harness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.collector.gr_unit import STATE_DIM
+from repro.core.agent import SageAgent
+from repro.core.networks import NetworkConfig, SagePolicy
+from repro.serve.engine import PolicyServer, ServeConfig
+from repro.serve.harness import MultiFlowConfig, run_served_flows
+
+
+def run_serve_bench(
+    flows: int = 64,
+    ticks: int = 200,
+    seed: int = 0,
+    net_config: Optional[NetworkConfig] = None,
+    with_harness: bool = True,
+    harness_duration: float = 3.0,
+) -> dict:
+    """Benchmark batched serving against N batch=1 agents; returns a report."""
+    cfg = net_config if net_config is not None else NetworkConfig()
+    rng = np.random.default_rng(seed)
+    policy = SagePolicy(cfg, rng)
+    states = rng.standard_normal((ticks, flows, STATE_DIM))
+
+    # -- batch=1 baseline: N independent SageAgents ---------------------
+    agents = [
+        SageAgent(policy, deterministic=True, seed=seed + i) for i in range(flows)
+    ]
+    for agent in agents:
+        agent.reset()
+    serial_ratios = np.empty((ticks, flows))
+    t0 = time.perf_counter()
+    for t in range(ticks):
+        for i, agent in enumerate(agents):
+            serial_ratios[t, i] = agent.act(states[t, i])
+    serial_s = time.perf_counter() - t0
+
+    # -- batched: one PolicyServer, one (N, 69) forward per tick ---------
+    server = PolicyServer(
+        policy, ServeConfig(deterministic=True, tick_budget=None, seed=seed)
+    )
+    for i in range(flows):
+        server.connect(i)
+    batched_ratios = np.empty((ticks, flows))
+    t0 = time.perf_counter()
+    for t in range(ticks):
+        for i in range(flows):
+            server.submit(i, states[t, i])
+        decisions = server.tick()
+        for i in range(flows):
+            batched_ratios[t, i] = decisions[i].ratio
+    batched_s = time.perf_counter() - t0
+
+    flow_ticks = flows * ticks
+    max_diff = float(np.abs(serial_ratios - batched_ratios).max())
+    snapshot = server.metrics.snapshot()
+    result = {
+        "flows": flows,
+        "ticks": ticks,
+        "gru_dim": cfg.gru_dim,
+        "serial": {
+            "elapsed_s": round(serial_s, 4),
+            "flows_per_s": round(flow_ticks / serial_s, 1),
+            "tick_ms": round(serial_s / ticks * 1e3, 4),
+        },
+        "batched": {
+            "elapsed_s": round(batched_s, 4),
+            "flows_per_s": round(flow_ticks / batched_s, 1),
+            "tick_ms": round(batched_s / ticks * 1e3, 4),
+            "latency_p50_ms": snapshot["latency_p50_ms"],
+            "latency_p99_ms": snapshot["latency_p99_ms"],
+            "batch_hist": snapshot["batch_hist"],
+        },
+        "speedup": round(serial_s / batched_s, 3),
+        "serial_batched_max_abs_diff": max_diff,
+        "serial_batched_allclose": bool(
+            np.allclose(serial_ratios, batched_ratios, rtol=1e-7, atol=1e-9)
+        ),
+    }
+
+    if with_harness:
+        hcfg = MultiFlowConfig(
+            n_flows=min(flows, 8),
+            bw_mbps=48.0,
+            min_rtt=0.04,
+            buffer_bdp=2.0,
+            duration=harness_duration,
+        )
+        hres = run_served_flows(policy, hcfg)
+        result["harness"] = {
+            "n_flows": hcfg.n_flows,
+            "duration_s": hcfg.duration,
+            "aggregate_throughput_mbps": round(
+                hres.aggregate_throughput_bps / 1e6, 3
+            ),
+            "jain_fairness": round(hres.jain_fairness, 4),
+            "fallback_rate": hres.metrics["fallback_rate"],
+            "latency_p99_ms": hres.metrics["latency_p99_ms"],
+        }
+    return result
+
+
+def format_report(result: dict) -> str:
+    lines = [
+        f"=== serve-bench: {result['flows']} flows x {result['ticks']} ticks "
+        f"(gru_dim={result['gru_dim']}) ===",
+        f"{'mode':>10} {'elapsed_s':>10} {'flows/s':>10} {'tick_ms':>9}",
+    ]
+    for mode in ("serial", "batched"):
+        row = result[mode]
+        lines.append(
+            f"{mode:>10} {row['elapsed_s']:>10.3f} "
+            f"{row['flows_per_s']:>10.0f} {row['tick_ms']:>9.3f}"
+        )
+    lines.append(
+        f"speedup: {result['speedup']:.2f}x   "
+        f"batched p50/p99: {result['batched']['latency_p50_ms']:.3f}/"
+        f"{result['batched']['latency_p99_ms']:.3f} ms   "
+        f"outputs allclose: {result['serial_batched_allclose']}"
+    )
+    if "harness" in result:
+        h = result["harness"]
+        lines.append(
+            f"harness ({h['n_flows']} flows, {h['duration_s']:g}s): "
+            f"{h['aggregate_throughput_mbps']:.1f} Mbps aggregate, "
+            f"Jain {h['jain_fairness']:.3f}, "
+            f"fallback rate {h['fallback_rate']:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(result: dict, path) -> None:
+    Path(path).write_text(json.dumps(result, indent=1) + "\n")

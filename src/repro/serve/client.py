@@ -1,0 +1,71 @@
+"""Thin clients of the serving engine.
+
+:class:`ServedAgent` satisfies the
+:class:`~repro.collector.rollout.PolicyAgent` protocol while routing every
+``act()`` through a :class:`~repro.serve.engine.PolicyServer` — so the
+whole evaluation stack (``run_policy``, leagues, internet paths) can
+exercise the serving tier, deadline machinery included, without knowing it
+exists. Pass a shared server to multiplex several agents through one
+hidden-state table; by default each agent owns a private single-flow
+server.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.networks import SagePolicy
+from repro.serve.engine import PolicyServer, ServeConfig
+
+
+class ServedAgent:
+    """A PolicyAgent whose decisions come from a :class:`PolicyServer`."""
+
+    def __init__(
+        self,
+        policy: SagePolicy,
+        deterministic: bool = False,
+        seed: int = 0,
+        name: str = "sage-served",
+        config: Optional[ServeConfig] = None,
+        server: Optional[PolicyServer] = None,
+        flow_id: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.name = name
+        self.seed = seed
+        self.flow_id = flow_id
+        #: sample stream for stochastic deployment; persists across resets
+        #: (and is reseeded per task by the parallel league runner, exactly
+        #: like SageAgent's)
+        self.rng = np.random.default_rng(seed)
+        self._shared_server = server
+        if config is None:
+            config = ServeConfig(deterministic=deterministic, seed=seed)
+        self.config = config
+        self.server: Optional[PolicyServer] = None
+
+    # -- PolicyAgent protocol -------------------------------------------
+    def reset(self) -> None:
+        """Open a fresh serving session (private server unless shared)."""
+        if self._shared_server is not None:
+            self.server = self._shared_server
+        else:
+            self.server = PolicyServer(self.policy, self.config)
+        if self.flow_id in getattr(self.server, "_sessions", {}):
+            self.server.close(self.flow_id)
+        self.server.connect(self.flow_id, rng=self.rng)
+
+    def act(self, state: np.ndarray) -> float:
+        if self.server is None:
+            raise RuntimeError(
+                "ServedAgent.act() called before reset(); reset() opens the "
+                "serving session"
+            )
+        return float(self.server.serve_one(self.flow_id, state).ratio)
+
+    def metrics_snapshot(self) -> dict:
+        """Serving metrics of the underlying server (empty before reset)."""
+        return {} if self.server is None else self.server.metrics.snapshot()

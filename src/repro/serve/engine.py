@@ -1,0 +1,301 @@
+"""The policy-serving engine: N flows, one shared policy, batched inference.
+
+The paper's Execution block deploys the frozen policy per flow; serving
+"heavy traffic" means many concurrent flows must share one policy without
+N separate forward passes per control tick. :class:`PolicyServer` is that
+tier:
+
+- a **per-flow hidden-state table** — one row of GRU state per connection,
+  allocated on :meth:`connect`, freed on :meth:`close` (the table doubles
+  like a socket table; rows are recycled through a free list);
+- a **tick scheduler** — senders :meth:`submit` their raw 69-dim GR states
+  as ticks fire; :meth:`tick` gathers everything pending into a single
+  ``(N, 69)`` batched forward (`FastPolicy.step_batch`, bitwise
+  row-consistent for any batch composition);
+- a **deadline/fallback path** — when the forward misses the tick budget,
+  every flow in the batch keeps its previous cwnd ratio; after
+  ``max_misses`` *consecutive* misses a flow degrades to a built-in
+  heuristic (ratio-space CUBIC by default) until inference meets the
+  deadline again;
+- **serving metrics** — per-tick latency percentiles, a batch-size
+  histogram, and decision-provenance counts (policy / stale / heuristic).
+
+A batch of one takes the legacy 1-D ``FastPolicy`` fast path (BLAS gemv),
+which keeps single-flow serving bit-identical to the historical
+``SageAgent`` — the pretrained-checkpoint gates depend on that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.gr_unit import STATE_DIM, normalize_state
+from repro.core.networks import FastPolicy, SagePolicy
+from repro.serve.fallback import RatioFallback, make_fallback
+from repro.serve.metrics import ServingMetrics
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-engine knobs.
+
+    ``tick_budget`` is the inference deadline in seconds (``None`` disables
+    the deadline machinery entirely — e.g. offline evaluation);
+    ``max_misses`` is K, the consecutive-miss count after which a flow
+    degrades to ``fallback``. ``tick_interval`` is the control period the
+    fallback heuristics integrate over.
+    """
+
+    deterministic: bool = False
+    tick_budget: Optional[float] = 0.020
+    max_misses: int = 3
+    fallback: str = "cubic"
+    tick_interval: float = 0.02
+    seed: int = 0
+    state_mask: Optional[np.ndarray] = None
+    initial_capacity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_misses < 1:
+            raise ValueError("max_misses must be >= 1")
+        if self.tick_budget is not None and self.tick_budget < 0:
+            raise ValueError("tick_budget must be >= 0 or None")
+        if self.initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+
+
+@dataclass
+class ServeDecision:
+    """One served control decision for one flow."""
+
+    flow_id: int
+    ratio: float
+    #: "policy" (fresh inference), "stale" (deadline missed, previous ratio
+    #: reused), or "heuristic" (degraded to the built-in fallback)
+    source: str
+    latency_s: float
+    batch_size: int
+
+
+class _FlowSession:
+    """Per-connection serving state (everything but the hidden row)."""
+
+    __slots__ = (
+        "row",
+        "rng",
+        "last_ratio",
+        "miss_streak",
+        "degraded",
+        "fallback",
+        "cwnd_est",
+    )
+
+    def __init__(self, row: int, rng: np.random.Generator) -> None:
+        self.row = row
+        self.rng = rng
+        self.last_ratio = 1.0
+        self.miss_streak = 0
+        self.degraded = False
+        self.fallback: Optional[RatioFallback] = None
+        self.cwnd_est = 10.0  # packets; resynced by submit(cwnd=...) hints
+
+
+class PolicyServer:
+    """Serves one frozen policy to many concurrent flows.
+
+    Parameters
+    ----------
+    policy:
+        The trained :class:`SagePolicy` to freeze and serve.
+    config:
+        Engine knobs; defaults to :class:`ServeConfig()`.
+    fast:
+        Pre-built :class:`FastPolicy` (tests inject slow subclasses here to
+        exercise the deadline path; also lets a caller share one snapshot).
+    clock:
+        Monotonic time source used for deadline accounting; injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        policy: SagePolicy,
+        config: Optional[ServeConfig] = None,
+        fast: Optional[FastPolicy] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.policy = policy
+        self.config = config if config is not None else ServeConfig()
+        self.fast = fast if fast is not None else FastPolicy(policy)
+        self.clock = clock
+        self.metrics = ServingMetrics()
+
+        h0 = self.fast.initial_state()
+        self._hdim = 0 if h0 is None else len(h0)
+        cap = self.config.initial_capacity
+        self._table = np.zeros((cap, self._hdim))
+        self._free: List[int] = list(range(cap - 1, -1, -1))
+        self._sessions: Dict[int, _FlowSession] = {}
+        #: flow_id -> (raw state, optional cwnd hint), insertion-ordered
+        self._pending: Dict[int, Tuple[np.ndarray, Optional[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_flows(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def capacity(self) -> int:
+        """Current hidden-state table capacity (rows)."""
+        return len(self._table)
+
+    def connect(
+        self, flow_id: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """Open a serving session: allocate and zero one hidden-state row."""
+        if flow_id in self._sessions:
+            raise ValueError(f"flow {flow_id} already connected")
+        if not self._free:
+            self._grow()
+        row = self._free.pop()
+        self._table[row] = 0.0
+        if rng is None:
+            rng = np.random.default_rng((self.config.seed, flow_id))
+        self._sessions[flow_id] = _FlowSession(row, rng)
+
+    def close(self, flow_id: int) -> None:
+        """End a session: recycle its hidden-state row."""
+        sess = self._sessions.pop(flow_id, None)
+        if sess is None:
+            raise KeyError(f"flow {flow_id} not connected")
+        self._pending.pop(flow_id, None)
+        self._free.append(sess.row)
+
+    def _grow(self) -> None:
+        old = self._table
+        self._table = np.zeros((2 * len(old), self._hdim))
+        self._table[: len(old)] = old
+        self._free.extend(range(2 * len(old) - 1, len(old) - 1, -1))
+
+    # ------------------------------------------------------------------
+    # the tick scheduler
+    # ------------------------------------------------------------------
+    def submit(
+        self, flow_id: int, state: np.ndarray, cwnd: Optional[float] = None
+    ) -> None:
+        """Queue one flow's raw GR state for the next batched tick.
+
+        ``cwnd`` optionally resyncs the server's window estimate with the
+        sender's actual cwnd (the fallback heuristics integrate on it).
+        """
+        if flow_id not in self._sessions:
+            raise KeyError(f"flow {flow_id} not connected")
+        self._pending[flow_id] = (np.asarray(state, dtype=np.float64), cwnd)
+
+    def tick(self) -> Dict[int, ServeDecision]:
+        """Run one control interval: batch all pending states, decide all.
+
+        The whole batch shares one forward pass and therefore one deadline
+        verdict; per-flow miss streaks and degradation remain individual
+        (flows join and leave batches at different times).
+        """
+        if not self._pending:
+            return {}
+        pending, self._pending = self._pending, {}
+        flow_ids = list(pending)
+        sessions = [self._sessions[f] for f in flow_ids]
+        raw = np.stack([pending[f][0] for f in flow_ids])
+
+        x = normalize_state(raw)
+        if self.config.state_mask is not None:
+            x = x * self.config.state_mask
+
+        t0 = self.clock()
+        ratios, h_next = self._forward(x, sessions)
+        elapsed = self.clock() - t0
+        self._commit_hidden(sessions, h_next)
+
+        budget = self.config.tick_budget
+        missed = budget is not None and elapsed > budget
+        self.metrics.record_tick(len(flow_ids), elapsed, missed)
+
+        decisions: Dict[int, ServeDecision] = {}
+        for i, (fid, sess) in enumerate(zip(flow_ids, sessions)):
+            cwnd_hint = pending[fid][1]
+            if cwnd_hint is not None:
+                sess.cwnd_est = float(cwnd_hint)
+            if not missed:
+                sess.miss_streak = 0
+                sess.degraded = False
+                sess.fallback = None
+                ratio, source = float(ratios[i]), "policy"
+            else:
+                sess.miss_streak += 1
+                if sess.miss_streak >= self.config.max_misses:
+                    if not sess.degraded:
+                        sess.degraded = True
+                        sess.fallback = make_fallback(self.config.fallback)
+                    ratio = float(
+                        sess.fallback.ratio(
+                            raw[i], sess.cwnd_est, self.config.tick_interval
+                        )
+                    )
+                    source = "heuristic"
+                else:
+                    # late result discarded: hold the previous cwnd ratio
+                    ratio, source = sess.last_ratio, "stale"
+            sess.last_ratio = ratio
+            sess.cwnd_est = min(max(sess.cwnd_est * ratio, 1.0), 4096.0)
+            self.metrics.record_decision(source)
+            decisions[fid] = ServeDecision(
+                flow_id=fid,
+                ratio=ratio,
+                source=source,
+                latency_s=elapsed,
+                batch_size=len(flow_ids),
+            )
+        return decisions
+
+    def serve_one(
+        self, flow_id: int, state: np.ndarray, cwnd: Optional[float] = None
+    ) -> ServeDecision:
+        """Submit + tick for a single flow (the thin-client entry point)."""
+        self.submit(flow_id, state, cwnd=cwnd)
+        return self.tick()[flow_id]
+
+    # ------------------------------------------------------------------
+    def _forward(
+        self, x: np.ndarray, sessions: List[_FlowSession]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """One forward pass; batch=1 takes the legacy bit-exact 1-D path."""
+        if len(sessions) == 1:
+            sess = sessions[0]
+            h = self._table[sess.row] if self._hdim else None
+            if self.config.deterministic:
+                ratio, h = self.fast.step(x[0], h)
+            else:
+                ratio, h = self.fast.sample_step(x[0], h, sess.rng)
+            h_next = None if h is None else h[None, :]
+            return np.array([ratio]), h_next
+        rows = [s.row for s in sessions]
+        h = self._table[rows] if self._hdim else None
+        if self.config.deterministic:
+            return self.fast.step_batch(x, h)
+        return self.fast.sample_step_batch(x, h, [s.rng for s in sessions])
+
+    def _commit_hidden(
+        self, sessions: List[_FlowSession], h_next: Optional[np.ndarray]
+    ) -> None:
+        # Hidden state advances even on a deadline miss: the forward did
+        # complete (just late), and keeping recurrent continuity makes
+        # post-brown-out recovery seamless.
+        if h_next is None or not self._hdim:
+            return
+        for i, sess in enumerate(sessions):
+            self._table[sess.row] = h_next[i]

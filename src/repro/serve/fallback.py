@@ -1,0 +1,108 @@
+"""Built-in heuristic fallbacks, expressed in the cwnd-ratio action space.
+
+When a flow's inference keeps missing its tick deadline, the serving engine
+degrades it to one of these controllers: a self-contained re-statement of a
+kernel heuristic as a per-tick cwnd *ratio* (the Execution block's action
+space), driven only by what the server already sees — the raw Table-1 GR
+state plus its running estimate of the flow's cwnd.
+
+They are deliberately small: the point is a safe, familiar control law to
+ride out a serving brown-out, not a competitive scheme (the full kernel
+implementations live in ``repro.tcp.schemes``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+#: Table-1 indices the fallbacks read (see repro.collector.gr_unit).
+_SRTT = 0  # smoothed RTT, seconds
+_LOSS_DB = 60  # bytes newly lost over the last tick (0 = clean tick)
+
+#: action clip, mirroring the GR unit's output representation
+_RATIO_LO = 1.0 / 3.0
+_RATIO_HI = 3.0
+
+
+def _clip(ratio: float) -> float:
+    return min(max(ratio, _RATIO_LO), _RATIO_HI)
+
+
+class RatioFallback:
+    """Interface: one heuristic controller per degraded flow."""
+
+    name = "base"
+
+    def ratio(self, state: np.ndarray, cwnd: float, dt: float) -> float:
+        """Next cwnd ratio given the raw GR state, cwnd estimate, and tick.
+
+        ``dt`` is the control interval in seconds; ``cwnd`` the server's
+        estimate of the flow's current window in packets.
+        """
+        raise NotImplementedError
+
+
+class CubicFallback(RatioFallback):
+    """TCP CUBIC's window curve, re-derived as a per-tick ratio.
+
+    On a loss tick: remember ``w_max``, cut to ``beta * cwnd``. Otherwise
+    target ``W(t) = C (t - K)^3 + w_max`` with ``K = cbrt(w_max (1-beta)/C)``
+    (RFC 8312 defaults C=0.4, beta=0.7) and emit ``target / cwnd``. Before
+    the first loss it probes like slow start (doubling per RTT).
+    """
+
+    name = "cubic"
+    C = 0.4
+    BETA = 0.7
+
+    __slots__ = ("_w_max", "_t")
+
+    def __init__(self) -> None:
+        self._w_max: float = 0.0
+        self._t = 0.0  # seconds since the last loss epoch started
+
+    def ratio(self, state: np.ndarray, cwnd: float, dt: float) -> float:
+        cwnd = max(cwnd, 1.0)
+        if state[_LOSS_DB] > 0.0:
+            self._w_max = cwnd
+            self._t = 0.0
+            return _clip(self.BETA)
+        if self._w_max <= 0.0:  # pre-loss: slow-start-style doubling per RTT
+            rtt = max(state[_SRTT], dt)
+            return _clip(2.0 ** (dt / rtt))
+        self._t += dt
+        k = (self._w_max * (1.0 - self.BETA) / self.C) ** (1.0 / 3.0)
+        target = self.C * (self._t - k) ** 3 + self._w_max
+        return _clip(target / cwnd)
+
+
+class AimdFallback(RatioFallback):
+    """NewReno-style AIMD: +1 packet per RTT, halve on a loss tick."""
+
+    name = "aimd"
+
+    __slots__ = ()
+
+    def ratio(self, state: np.ndarray, cwnd: float, dt: float) -> float:
+        cwnd = max(cwnd, 1.0)
+        if state[_LOSS_DB] > 0.0:
+            return _clip(0.5)
+        rtt = max(state[_SRTT], dt)
+        return _clip(1.0 + dt / (rtt * cwnd))
+
+
+_FALLBACKS: Dict[str, Callable[[], RatioFallback]] = {
+    CubicFallback.name: CubicFallback,
+    AimdFallback.name: AimdFallback,
+}
+
+
+def make_fallback(name: str) -> RatioFallback:
+    """Instantiate a registered ratio-space fallback by name."""
+    if name not in _FALLBACKS:
+        raise ValueError(
+            f"unknown fallback {name!r}; known: {sorted(_FALLBACKS)}"
+        )
+    return _FALLBACKS[name]()

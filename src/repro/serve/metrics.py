@@ -1,0 +1,71 @@
+"""Serving metrics: inference latency, batch sizes, fallback rates.
+
+The serving engine records one sample per scheduler tick (one batched
+forward) plus per-decision outcome counters. ``snapshot()`` renders the
+JSON-able summary that ``BENCH_serve.json``, the CLI, and the harness
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+#: decision provenance labels, in reporting order
+SOURCES = ("policy", "stale", "heuristic")
+
+
+class ServingMetrics:
+    """Rolling counters for one :class:`~repro.serve.engine.PolicyServer`."""
+
+    __slots__ = ("latencies_s", "batch_hist", "sources", "ticks", "decisions",
+                 "deadline_misses")
+
+    def __init__(self) -> None:
+        self.latencies_s: List[float] = []
+        self.batch_hist: Dict[int, int] = {}
+        self.sources: Dict[str, int] = {s: 0 for s in SOURCES}
+        self.ticks = 0
+        self.decisions = 0
+        self.deadline_misses = 0  # ticks whose forward blew the budget
+
+    # ------------------------------------------------------------------
+    def record_tick(
+        self, batch_size: int, latency_s: float, missed_deadline: bool
+    ) -> None:
+        self.ticks += 1
+        self.latencies_s.append(latency_s)
+        self.batch_hist[batch_size] = self.batch_hist.get(batch_size, 0) + 1
+        if missed_deadline:
+            self.deadline_misses += 1
+
+    def record_decision(self, source: str) -> None:
+        self.sources[source] += 1
+        self.decisions += 1
+
+    # ------------------------------------------------------------------
+    def latency_percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(self.latencies_s, q)) * 1e3
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of decisions not served fresh from the policy."""
+        if self.decisions == 0:
+            return 0.0
+        return (self.sources["stale"] + self.sources["heuristic"]) / self.decisions
+
+    def snapshot(self) -> dict:
+        """JSON-able summary of everything recorded so far."""
+        return {
+            "ticks": self.ticks,
+            "decisions": self.decisions,
+            "deadline_misses": self.deadline_misses,
+            "latency_p50_ms": round(self.latency_percentile_ms(50.0), 4),
+            "latency_p99_ms": round(self.latency_percentile_ms(99.0), 4),
+            "batch_hist": {str(k): v for k, v in sorted(self.batch_hist.items())},
+            "sources": dict(self.sources),
+            "fallback_rate": round(self.fallback_rate, 6),
+        }

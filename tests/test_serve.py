@@ -1,0 +1,421 @@
+"""Tests for the policy-serving engine (repro.serve)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collector.gr_unit import STATE_DIM, normalize_state
+from repro.core.agent import SageAgent
+from repro.core.networks import FastPolicy, NetworkConfig, SagePolicy
+from repro.serve.engine import PolicyServer, ServeConfig
+from repro.serve.fallback import AimdFallback, CubicFallback, make_fallback
+from repro.serve.metrics import ServingMetrics
+
+TINY = NetworkConfig(enc_dim=16, gru_dim=16, n_components=3, n_atoms=7)
+
+
+@pytest.fixture()
+def policy():
+    return SagePolicy(TINY, np.random.default_rng(0))
+
+
+@pytest.fixture()
+def fast(policy):
+    return FastPolicy(policy)
+
+
+class FakeClock:
+    """Deterministic time source: each call advances by ``per_call``."""
+
+    def __init__(self, per_call: float) -> None:
+        self.t = 0.0
+        self.per_call = per_call
+
+    def __call__(self) -> float:
+        self.t += self.per_call
+        return self.t
+
+
+class SlowFastPolicy(FastPolicy):
+    """An artificially slow policy: every forward sleeps past any budget."""
+
+    SLEEP = 0.002
+
+    def step(self, state, h):
+        time.sleep(self.SLEEP)
+        return super().step(state, h)
+
+    def step_batch(self, states, h):
+        time.sleep(self.SLEEP)
+        return super().step_batch(states, h)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: batched-vs-serial equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedEquivalence:
+    def test_batched_identical_to_batch1(self, fast):
+        """(N, 69) batched step == N independent batch=1 steps, bitwise."""
+        rng = np.random.default_rng(1)
+        n, t_steps = 13, 7
+        states = rng.standard_normal((t_steps, n, STATE_DIM))
+        h = fast.initial_state_batch(n)
+        batched = np.empty((t_steps, n))
+        for t in range(t_steps):
+            r, h = fast.step_batch(states[t], h)
+            batched[t] = r
+        single = np.empty((t_steps, n))
+        for i in range(n):
+            hi = fast.initial_state_batch(1)
+            for t in range(t_steps):
+                r, hi = fast.step_batch(states[t, i : i + 1], hi)
+                single[t, i] = r[0]
+        assert np.array_equal(batched, single)
+
+    def test_batched_close_to_legacy_1d(self, fast):
+        """The einsum path matches the BLAS gemv path to float rounding."""
+        rng = np.random.default_rng(2)
+        n, t_steps = 5, 6
+        states = rng.standard_normal((t_steps, n, STATE_DIM))
+        h = fast.initial_state_batch(n)
+        batched = np.empty((t_steps, n))
+        for t in range(t_steps):
+            r, h = fast.step_batch(states[t], h)
+            batched[t] = r
+        legacy = np.empty((t_steps, n))
+        for i in range(n):
+            hl = fast.initial_state()
+            for t in range(t_steps):
+                r, hl = fast.step(states[t, i], hl)
+                legacy[t, i] = r
+        assert np.allclose(batched, legacy, rtol=1e-9, atol=1e-12)
+
+    def test_sample_batch_matches_per_flow_rng_streams(self, fast):
+        """A flow's sample stream is independent of its batch-mates."""
+        rng = np.random.default_rng(3)
+        n = 6
+        states = rng.standard_normal((n, STATE_DIM))
+        rngs = [np.random.default_rng(100 + i) for i in range(n)]
+        ratios, _ = fast.sample_step_batch(states, fast.initial_state_batch(n), rngs)
+        for i in range(n):
+            r, _ = fast.sample_step(
+                states[i], fast.initial_state(), np.random.default_rng(100 + i)
+            )
+            assert ratios[i] == pytest.approx(r, rel=1e-9)
+
+    def test_no_gru_batched(self):
+        cfg = NetworkConfig(enc_dim=16, gru_dim=16, n_atoms=7, use_gru=False)
+        fast = FastPolicy(SagePolicy(cfg, np.random.default_rng(0)))
+        assert fast.initial_state_batch(4) is None
+        states = np.random.default_rng(4).standard_normal((4, STATE_DIM))
+        ratios, h = fast.step_batch(states, None)
+        assert h is None and ratios.shape == (4,)
+        for i in range(4):
+            r, _ = fast.step_batch(states[i : i + 1], None)
+            assert ratios[i] == r[0]
+
+    def test_server_batch_composition_invariant(self, policy):
+        """Serving a flow alone or sharing a batch gives identical ratios."""
+        rng = np.random.default_rng(5)
+        states = rng.standard_normal((6, 3, STATE_DIM))
+        cfg = ServeConfig(deterministic=True, tick_budget=None)
+
+        shared = PolicyServer(policy, cfg)
+        for fid in range(3):
+            shared.connect(fid)
+        together = []
+        for t in range(6):
+            for fid in range(3):
+                shared.submit(fid, states[t, fid])
+            together.append(shared.tick()[2].ratio)
+
+        # flow 2 must see the exact same decisions when served by itself
+        # through the batched kernel (batch >= 2 avoids the 1-D fast path)
+        alone = PolicyServer(policy, cfg)
+        alone.connect(2)
+        alone.connect(7)  # one inert batch-mate with different inputs
+        solo = []
+        for t in range(6):
+            alone.submit(2, states[t, 2])
+            alone.submit(7, states[t, 0] * 0.5)
+            solo.append(alone.tick()[2].ratio)
+        assert together == solo
+
+
+# ---------------------------------------------------------------------------
+# Hidden-state table lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestHiddenTable:
+    def test_connect_close_recycles_rows(self, policy):
+        server = PolicyServer(policy, ServeConfig(initial_capacity=2))
+        server.connect(10)
+        server.connect(11)
+        assert server.n_flows == 2 and server.capacity == 2
+        server.close(10)
+        server.connect(12)  # reuses the freed row, no growth
+        assert server.capacity == 2
+
+    def test_table_grows_on_demand(self, policy):
+        server = PolicyServer(policy, ServeConfig(initial_capacity=2))
+        for fid in range(5):
+            server.connect(fid)
+        assert server.n_flows == 5 and server.capacity >= 5
+
+    def test_growth_preserves_hidden_state(self, policy):
+        server = PolicyServer(
+            policy, ServeConfig(deterministic=True, tick_budget=None,
+                                initial_capacity=1)
+        )
+        ref = PolicyServer(
+            policy, ServeConfig(deterministic=True, tick_budget=None)
+        )
+        rng = np.random.default_rng(6)
+        states = rng.standard_normal((4, STATE_DIM))
+        server.connect(0)
+        ref.connect(0)
+        r0 = server.serve_one(0, states[0]).ratio
+        assert r0 == ref.serve_one(0, states[0]).ratio
+        server.connect(1)  # forces a grow() mid-session
+        server.connect(2)
+        for t in range(1, 4):
+            assert (
+                server.serve_one(0, states[t]).ratio
+                == ref.serve_one(0, states[t]).ratio
+            )
+
+    def test_double_connect_rejected(self, policy):
+        server = PolicyServer(policy)
+        server.connect(0)
+        with pytest.raises(ValueError):
+            server.connect(0)
+
+    def test_close_unknown_rejected(self, policy):
+        with pytest.raises(KeyError):
+            PolicyServer(policy).close(99)
+
+    def test_submit_unknown_rejected(self, policy):
+        with pytest.raises(KeyError):
+            PolicyServer(policy).submit(99, np.zeros(STATE_DIM))
+
+    def test_fresh_connection_gets_zero_hidden(self, policy):
+        server = PolicyServer(policy, ServeConfig(deterministic=True,
+                                                  tick_budget=None))
+        s = np.random.default_rng(7).standard_normal(STATE_DIM)
+        server.connect(0)
+        first = server.serve_one(0, s).ratio
+        second = server.serve_one(0, s).ratio  # hidden advanced
+        server.close(0)
+        server.connect(1)  # recycles row 0; must start from zeros again
+        assert server.serve_one(1, s).ratio == first
+        assert first != second or TINY.use_gru is False
+
+
+# ---------------------------------------------------------------------------
+# Satellite: deadline / fallback path
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlineFallback:
+    def _server(self, policy, per_call, budget=0.020, k=3):
+        return PolicyServer(
+            policy,
+            ServeConfig(deterministic=True, tick_budget=budget, max_misses=k),
+            clock=FakeClock(per_call),
+        )
+
+    def test_within_budget_serves_policy(self, policy):
+        server = self._server(policy, per_call=0.001)
+        server.connect(0)
+        d = server.serve_one(0, np.zeros(STATE_DIM))
+        assert d.source == "policy"
+
+    def test_miss_serves_stale_ratio(self, policy):
+        server = self._server(policy, per_call=0.001)
+        server.connect(0)
+        good = server.serve_one(0, np.zeros(STATE_DIM))
+        server.clock.per_call = 0.030  # now every forward misses 20 ms
+        d = server.serve_one(0, np.zeros(STATE_DIM))
+        assert d.source == "stale"
+        assert d.ratio == good.ratio  # holds the previous cwnd ratio
+
+    def test_k_misses_degrade_then_recover(self, policy):
+        k = 3
+        server = self._server(policy, per_call=0.030, k=k)
+        server.connect(0)
+        sources = [
+            server.serve_one(0, np.zeros(STATE_DIM), cwnd=20.0).source
+            for _ in range(k + 2)
+        ]
+        assert sources[: k - 1] == ["stale"] * (k - 1)
+        assert sources[k - 1 :] == ["heuristic"] * 3
+        # inference becomes fast again -> flow returns to the policy
+        server.clock.per_call = 0.001
+        d = server.serve_one(0, np.zeros(STATE_DIM))
+        assert d.source == "policy"
+        # ...and a later brown-out restarts the miss count from zero
+        server.clock.per_call = 0.030
+        assert server.serve_one(0, np.zeros(STATE_DIM)).source == "stale"
+
+    def test_slow_policy_injection(self, policy):
+        """An actually-slow FastPolicy (wall clock) trips the deadline."""
+        server = PolicyServer(
+            policy,
+            ServeConfig(deterministic=True, tick_budget=1e-4, max_misses=2),
+            fast=SlowFastPolicy(policy),
+        )
+        server.connect(0)
+        server.connect(1)
+        for fid in (0, 1):
+            server.submit(fid, np.zeros(STATE_DIM))
+        first = server.tick()
+        assert {d.source for d in first.values()} == {"stale"}
+        for fid in (0, 1):
+            server.submit(fid, np.zeros(STATE_DIM))
+        second = server.tick()
+        assert {d.source for d in second.values()} == {"heuristic"}
+        assert server.metrics.fallback_rate == 1.0
+
+    def test_per_flow_miss_streaks_are_individual(self, policy):
+        """A flow joining mid-brown-out degrades on its own schedule."""
+        server = self._server(policy, per_call=0.030, k=2)
+        server.connect(0)
+        server.serve_one(0, np.zeros(STATE_DIM))  # flow 0: miss #1
+        server.connect(1)
+        server.submit(0, np.zeros(STATE_DIM))
+        server.submit(1, np.zeros(STATE_DIM))
+        d = server.tick()
+        assert d[0].source == "heuristic"  # second consecutive miss
+        assert d[1].source == "stale"  # first miss only
+
+    def test_no_budget_never_falls_back(self, policy):
+        server = PolicyServer(
+            policy,
+            ServeConfig(deterministic=True, tick_budget=None),
+            clock=FakeClock(10.0),  # absurdly slow clock; budget disabled
+        )
+        server.connect(0)
+        assert server.serve_one(0, np.zeros(STATE_DIM)).source == "policy"
+
+
+# ---------------------------------------------------------------------------
+# Fallback heuristics
+# ---------------------------------------------------------------------------
+
+
+class TestFallbacks:
+    def _state(self, srtt=0.04, loss=0.0):
+        s = np.zeros(STATE_DIM)
+        s[0] = srtt
+        s[60] = loss
+        return s
+
+    def test_cubic_cuts_on_loss(self):
+        fb = CubicFallback()
+        assert fb.ratio(self._state(loss=1500.0), cwnd=40.0, dt=0.02) == (
+            pytest.approx(CubicFallback.BETA)
+        )
+
+    def test_cubic_regrows_toward_wmax(self):
+        fb = CubicFallback()
+        fb.ratio(self._state(loss=1500.0), cwnd=40.0, dt=0.02)
+        cwnd = 28.0  # post-cut
+        ratios = [fb.ratio(self._state(), cwnd, 0.02) for _ in range(5)]
+        assert all(r >= 1.0 for r in ratios)  # concave regrowth, no cut
+
+    def test_cubic_probes_before_first_loss(self):
+        fb = CubicFallback()
+        r = fb.ratio(self._state(srtt=0.02), cwnd=10.0, dt=0.02)
+        assert 1.0 < r <= 2.0  # slow-start flavoured doubling per RTT
+
+    def test_aimd_halves_on_loss_and_grows_additively(self):
+        fb = AimdFallback()
+        assert fb.ratio(self._state(loss=1500.0), 20.0, 0.02) == pytest.approx(0.5)
+        grow = fb.ratio(self._state(srtt=0.02), 20.0, 0.02)
+        assert grow == pytest.approx(1.0 + 0.02 / (0.02 * 20.0))
+
+    def test_registry(self):
+        assert isinstance(make_fallback("cubic"), CubicFallback)
+        assert isinstance(make_fallback("aimd"), AimdFallback)
+        with pytest.raises(ValueError):
+            make_fallback("bbr99")
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_snapshot_shape(self):
+        m = ServingMetrics()
+        m.record_tick(4, 0.001, missed_deadline=False)
+        m.record_tick(2, 0.003, missed_deadline=True)
+        for src in ("policy", "policy", "stale", "heuristic"):
+            m.record_decision(src)
+        snap = m.snapshot()
+        assert snap["ticks"] == 2 and snap["decisions"] == 4
+        assert snap["deadline_misses"] == 1
+        assert snap["batch_hist"] == {"2": 1, "4": 1}
+        assert snap["sources"] == {"policy": 2, "stale": 1, "heuristic": 1}
+        assert snap["fallback_rate"] == pytest.approx(0.5)
+        assert snap["latency_p50_ms"] == pytest.approx(2.0)
+
+    def test_empty_metrics(self):
+        snap = ServingMetrics().snapshot()
+        assert snap["fallback_rate"] == 0.0
+        assert snap["latency_p50_ms"] == 0.0
+
+    def test_server_records_batch_histogram(self, policy):
+        server = PolicyServer(policy, ServeConfig(tick_budget=None))
+        for fid in range(3):
+            server.connect(fid)
+        for fid in range(3):
+            server.submit(fid, np.zeros(STATE_DIM))
+        server.tick()
+        server.submit(0, np.zeros(STATE_DIM))
+        server.tick()
+        assert server.metrics.snapshot()["batch_hist"] == {"1": 1, "3": 1}
+
+
+# ---------------------------------------------------------------------------
+# Satellite: SageAgent as a thin serving client
+# ---------------------------------------------------------------------------
+
+
+class TestSageAgentClient:
+    def test_act_before_reset_raises(self, policy):
+        agent = SageAgent(policy)
+        with pytest.raises(RuntimeError, match="before reset"):
+            agent.act(np.zeros(STATE_DIM))
+
+    def test_act_matches_legacy_inline_path(self, policy):
+        """The served batch=1 path is bit-identical to the historical one."""
+        fast = FastPolicy(policy)
+        rng = np.random.default_rng(11)
+        states = rng.standard_normal((20, STATE_DIM))
+        h = fast.initial_state()
+        legacy_rng = np.random.default_rng(42)
+        legacy = []
+        for s in states:
+            r, h = fast.sample_step(normalize_state(s), h, legacy_rng)
+            legacy.append(float(r))
+        agent = SageAgent(policy, seed=42)
+        agent.reset()
+        assert [agent.act(s) for s in states] == legacy
+
+    def test_state_mask_applied(self, policy):
+        mask = np.ones(STATE_DIM)
+        mask[5] = 0.0
+        agent = SageAgent(policy, deterministic=True, state_mask=mask)
+        agent.reset()
+        base = np.zeros(STATE_DIM)
+        r1 = agent.act(base)
+        agent.reset()
+        poked = base.copy()
+        poked[5] = 100.0
+        assert agent.act(poked) == pytest.approx(r1)
