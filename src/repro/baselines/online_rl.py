@@ -20,7 +20,8 @@ from repro.collector.gr_unit import normalize_state
 from repro.collector.pool import PolicyPool, Trajectory
 from repro.collector.rollout import run_policy
 from repro.core.agent import SageAgent
-from repro.core.crr import CRRConfig, _softmax_np
+from repro.core.crr import CRRConfig
+from repro.nn.functional import softmax_np
 from repro.core.networks import NetworkConfig, SageCritic, SagePolicy, log_action
 from repro.nn.autograd import Tensor, no_grad, stack_rows
 from repro.nn.optim import Adam, clip_grad_norm
@@ -97,7 +98,7 @@ class OnlineRLTrainer:
                 a_next = self.target_policy.sample(tgt_feats[t], self.rng)
                 logits = self.target_critic.q_logits(tgt_rec[t], log_action(a_next))
                 target_probs[:, t, :] = self.critic.head.project_target(
-                    rewards[:, t], cfg.gamma, _softmax_np(logits.data)
+                    rewards[:, t], cfg.gamma, softmax_np(logits.data)
                 )
 
         rec = self.critic.recurrent_seq(states)

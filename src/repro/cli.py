@@ -7,6 +7,7 @@ Usage::
     python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz --serve]
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
     python -m repro serve-bench --flows 64
+    python -m repro train-bench --pool pool.npz
 
 Each subcommand wraps the same public API the examples use; nothing here is
 load-bearing beyond argument parsing.
@@ -52,7 +53,8 @@ def _cmd_train(args) -> int:
     run = train_sage_on_pool(
         pool, n_steps=args.steps, n_checkpoints=args.checkpoints,
         net_config=net, crr_config=CRRConfig(), seed=args.seed,
-        log_every=args.log_every,
+        log_every=args.log_every, engine=args.engine,
+        prefetch=args.prefetch, sampler_workers=args.workers,
     )
     run.agent.save(args.out)
     print(f"trained {run.trainer.steps_done} steps; saved policy to {args.out}")
@@ -107,6 +109,30 @@ def _cmd_deploy(args) -> int:
         f"owd={s.avg_owd * 1e3:.1f} ms  loss={s.loss_rate:.4f}  "
         f"mean-reward={float(np.mean(result.rewards)):.3f}"
     )
+    return 0
+
+
+def _cmd_train_bench(args) -> int:
+    from repro.collector.pool import PolicyPool
+    from repro.core.crr import CRRConfig
+    from repro.core.networks import NetworkConfig
+    from repro.train.bench import format_report, run_train_bench, write_report
+
+    pool = PolicyPool.load(args.pool) if args.pool else None
+    net = NetworkConfig(
+        enc_dim=args.enc_dim, gru_dim=args.gru_dim,
+        n_components=args.components, n_atoms=args.atoms,
+    )
+    schemes = args.schemes.split(",") if args.schemes else None
+    result = run_train_bench(
+        pool=pool, steps=args.steps, eq_steps=args.eq_steps, seed=args.seed,
+        net_config=net, crr_config=CRRConfig(), prefetch=args.prefetch,
+        sampler_workers=args.workers, schemes=schemes,
+        collect_workers=args.collect_workers,
+    )
+    print(format_report(result))
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -165,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--log-every", type=int, default=0, dest="log_every")
     p.add_argument("--out", default="sage.npz")
+    p.add_argument("--engine", choices=("fast", "legacy"), default="fast",
+                   help="fused sequence-level engine (default) or the "
+                        "per-timestep reference trainer")
+    p.add_argument("--prefetch", type=int, default=0,
+                   help="batches prepared ahead by the sampler "
+                        "(0 = synchronous, legacy-identical RNG stream)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="sampler threads when --prefetch > 0")
     _add_net_args(p)
     p.set_defaults(func=_cmd_train)
 
@@ -186,6 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=10.0)
     _add_net_args(p)
     p.set_defaults(func=_cmd_deploy)
+
+    p = sub.add_parser(
+        "train-bench",
+        help="benchmark the fused training engine vs the legacy trainer",
+    )
+    p.add_argument("--pool", default="",
+                   help="saved pool .npz (default: collect the mini pool)")
+    p.add_argument("--steps", type=int, default=30)
+    p.add_argument("--eq-steps", type=int, default=10, dest="eq_steps",
+                   help="same-seed equivalence-check steps")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prefetch", type=int, default=2)
+    p.add_argument("--workers", type=int, default=2,
+                   help="sampler threads for the fused engine")
+    p.add_argument("--collect-workers", type=int, default=1,
+                   dest="collect_workers",
+                   help="rollout processes when collecting the pool")
+    p.add_argument("--schemes", default="", help="comma-separated subset "
+                   "for pool collection")
+    p.add_argument("--out", default="BENCH_train.json")
+    _add_net_args(p)
+    p.set_defaults(func=_cmd_train_bench)
 
     p = sub.add_parser(
         "serve-bench",

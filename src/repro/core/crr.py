@@ -17,8 +17,9 @@ policy's own average — learning *from* the pool without *imitating* it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -26,7 +27,11 @@ from repro.collector.gr_unit import normalize_state
 from repro.collector.pool import PolicyPool
 from repro.core.networks import NetworkConfig, SageCritic, SagePolicy, log_action
 from repro.nn.autograd import Tensor, no_grad, stack_rows
+from repro.nn.functional import softmax_np
 from repro.nn.optim import Adam, clip_grad_norm
+
+#: ``metrics_callback`` signature: ``(steps_done, metrics) -> None``.
+MetricsCallback = Callable[[int, Dict[str, float]], None]
 
 
 @dataclass
@@ -48,6 +53,10 @@ class CRRConfig:
     grad_clip: float = 10.0
     target_tau: float = 0.01  # Polyak rate for target networks
     reward_scale: float = 10.0  # maps per-step rewards onto the atom support
+    #: keep at most this many entries per metric in ``trainer.history``
+    #: (``None`` = unbounded); multi-hundred-thousand-step runs should bound
+    #: it so the metric lists don't grow with the run length.
+    history_limit: Optional[int] = 100_000
 
     def __post_init__(self) -> None:
         if not 0.0 < self.gamma < 1.0:
@@ -56,6 +65,8 @@ class CRRConfig:
             raise ValueError("batch/seq/m_samples must be positive")
         if self.filter_type not in ("exp", "binary"):
             raise ValueError(f"filter_type must be exp/binary, got {self.filter_type!r}")
+        if self.history_limit is not None and self.history_limit < 1:
+            raise ValueError("history_limit must be positive (or None)")
 
 
 class CRRTrainer:
@@ -88,7 +99,10 @@ class CRRTrainer:
         self.opt_policy = Adam(self.policy.parameters(), lr=self.cfg.lr_policy)
         self.opt_critic = Adam(self.critic.parameters(), lr=self.cfg.lr_critic)
         self.steps_done = 0
-        self.history: Dict[str, list] = {"critic_loss": [], "policy_loss": [], "mean_f": []}
+        self.history: Dict[str, deque] = {
+            k: deque(maxlen=self.cfg.history_limit)
+            for k in ("critic_loss", "policy_loss", "mean_f")
+        }
 
     # ------------------------------------------------------------------
     def _normalize(self, s: np.ndarray) -> np.ndarray:
@@ -124,7 +138,7 @@ class CRRTrainer:
             for t in range(l):
                 a_next = self.target_policy.sample(tgt_pol_feats[t], self.rng)
                 logits = self.target_critic.q_logits(tgt_rec[t], log_action(a_next))
-                next_p = _softmax_np(logits.data)
+                next_p = softmax_np(logits.data)
                 target_probs[:, t, :] = self.critic.head.project_target(
                     rewards[:, t], cfg.gamma, next_p
                 )
@@ -144,15 +158,19 @@ class CRRTrainer:
         self.opt_critic.step()
 
         # ---- advantage filter (no gradients) ------------------------------
+        # One policy trunk pass serves both the filter (values only; the
+        # head's sample() runs under no_grad) and the improvement step below
+        # (gradients) — the filter must NOT reuse the critic features from
+        # the evaluation step though, because the critic was just updated.
+        pol_feats = self.policy.features_seq(states)
         with no_grad():
-            pol_feats_ng = self.policy.features_seq(states)
             rec_ng = self.critic.recurrent_seq(states)
             f = np.empty((b, l))
             for t in range(l):
                 q_data = self.critic.q_value(rec_ng[t], log_a[:, t]).data
                 q_base = np.zeros(b)
                 for _ in range(cfg.m_samples):
-                    a_j = self.policy.sample(pol_feats_ng[t], self.rng)
+                    a_j = self.policy.sample(pol_feats[t], self.rng)
                     q_base += self.critic.q_value(rec_ng[t], log_action(a_j)).data
                 adv = q_data - q_base / cfg.m_samples
                 if cfg.filter_type == "binary":
@@ -163,7 +181,6 @@ class CRRTrainer:
                     )
 
         # ---- policy improvement (Eq. 6) ----------------------------------
-        pol_feats = self.policy.features_seq(states)
         pol_losses = []
         for t in range(l):
             logp = self.policy.log_prob(pol_feats[t], log_a[:, t])
@@ -188,12 +205,25 @@ class CRRTrainer:
             self.history[k].append(v)
         return metrics
 
-    def train(self, n_steps: int, log_every: int = 0) -> Dict[str, float]:
-        """Run ``n_steps`` iterations; returns the final step's metrics."""
+    def train(
+        self,
+        n_steps: int,
+        log_every: int = 0,
+        metrics_callback: Optional[MetricsCallback] = None,
+    ) -> Dict[str, float]:
+        """Run ``n_steps`` iterations; returns the final step's metrics.
+
+        ``metrics_callback(steps_done, metrics)`` replaces the default
+        ``print`` logging: it fires every ``log_every`` steps, or after
+        every step when ``log_every`` is 0.
+        """
         metrics: Dict[str, float] = {}
         for i in range(n_steps):
             metrics = self.train_step()
-            if log_every and (i + 1) % log_every == 0:
+            if metrics_callback is not None:
+                if log_every == 0 or (i + 1) % log_every == 0:
+                    metrics_callback(self.steps_done, metrics)
+            elif log_every and (i + 1) % log_every == 0:
                 print(
                     f"step {self.steps_done}: "
                     f"critic={metrics['critic_loss']:.4f} "
@@ -201,9 +231,3 @@ class CRRTrainer:
                     f"f={metrics['mean_f']:.3f}"
                 )
         return metrics
-
-
-def _softmax_np(x: np.ndarray) -> np.ndarray:
-    z = x - x.max(axis=-1, keepdims=True)
-    e = np.exp(z)
-    return e / e.sum(axis=-1, keepdims=True)

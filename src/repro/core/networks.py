@@ -136,6 +136,28 @@ class _Trunk(Module):
             outs.append(g)
         return outs
 
+    # -- fused sequence path ------------------------------------------------
+    # The per-timestep helpers above build one autograd subgraph per (t,
+    # layer) pair; at (B=16, L=8) that is hundreds of closure nodes per
+    # train step and the interpreter dominates the math. The fused path
+    # folds every non-recurrent stage over all timesteps at once and leaves
+    # only the GRU's L hidden products sequential. Rows are t-major: row
+    # ``t * B + i`` of the flat result is batch row i at timestep t.
+
+    def recurrent_flat(self, states: np.ndarray) -> Tensor:
+        """``(B, L, D)`` states -> ``(L*B, H)`` recurrent features, fused."""
+        b, l, d = states.shape
+        flat = np.ascontiguousarray(states.transpose(1, 0, 2)).reshape(l * b, d)
+        pre = self.pre(Tensor(flat))
+        if self.gru is None:
+            return pre
+        hs = self.gru.forward_seq(pre.reshape(l, b, pre.shape[-1]))
+        return hs.reshape(l * b, self.gru.hidden_dim)
+
+    def features_seq_fused(self, states: np.ndarray) -> Tensor:
+        """``(B, L, D)`` states -> ``(L*B, E)`` trunk features, fused."""
+        return self.post(self.recurrent_flat(states))
+
 
 class SagePolicy(Module):
     """The policy network pi_theta(a | s): trunk + GMM head."""
@@ -149,6 +171,10 @@ class SagePolicy(Module):
     # -- training-time API -------------------------------------------------
     def features_seq(self, states: np.ndarray) -> List[Tensor]:
         return self.trunk.features_seq(states)
+
+    def features_seq_fused(self, states: np.ndarray) -> Tensor:
+        """Fused ``(B, L, D) -> (L*B, E)`` features (t-major rows)."""
+        return self.trunk.features_seq_fused(states)
 
     def log_prob(self, feat: Tensor, log_actions: np.ndarray) -> Tensor:
         return self.head.log_prob(feat, log_actions)
@@ -189,6 +215,13 @@ class SageCritic(Module):
     def recurrent_seq(self, states: np.ndarray) -> List[Tensor]:
         """Per-step recurrent features (action-independent, reusable)."""
         return self.trunk.recurrent_seq(states)
+
+    def recurrent_seq_fused(self, states: np.ndarray) -> Tensor:
+        """Fused ``(B, L, D) -> (L*B, H)`` recurrent features (t-major).
+
+        :meth:`q_features` accepts the flat result directly — the critic's
+        per-row math is batch-shape agnostic."""
+        return self.trunk.recurrent_flat(states)
 
     def q_features(self, rec: Tensor, log_actions: np.ndarray) -> Tensor:
         """Combine recurrent features with an action: (B, E) critic features."""

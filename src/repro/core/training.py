@@ -89,15 +89,44 @@ def train_sage_on_pool(
     crr_config: Optional[CRRConfig] = None,
     seed: int = 0,
     log_every: int = 0,
+    engine: str = "fast",
+    prefetch: int = 0,
+    sampler_workers: int = 1,
 ) -> TrainingRun:
     """Phase 2: offline CRR training with per-"day" checkpoints.
 
     ``n_checkpoints`` evenly-spaced snapshots stand in for the paper's seven
     daily checkpoints in Fig. 7.
+
+    ``engine`` picks the trainer: ``"fast"`` (default) is the fused
+    :class:`~repro.train.engine.FastCRRTrainer`; ``"legacy"`` is the
+    per-timestep :class:`CRRTrainer`. With the default ``prefetch=0`` the
+    fast engine consumes the *same RNG stream* as the legacy one, so a
+    run's sampled batches and drawn actions are identical either way and
+    the learning curves agree to float rounding. ``prefetch>0`` overlaps
+    batch assembly with the optimizer on ``sampler_workers`` threads
+    (deterministic, but a different — still seed-reproducible — batch
+    order; see :mod:`repro.train.sampler`).
     """
     if n_steps < n_checkpoints:
         raise ValueError("need at least one step per checkpoint")
-    trainer = CRRTrainer(pool, net_config=net_config, config=crr_config, seed=seed)
+    if engine == "fast":
+        from repro.train.engine import FastCRRTrainer
+
+        trainer: CRRTrainer = FastCRRTrainer(
+            pool,
+            net_config=net_config,
+            config=crr_config,
+            seed=seed,
+            prefetch=prefetch,
+            sampler_workers=sampler_workers,
+        )
+    elif engine == "legacy":
+        trainer = CRRTrainer(
+            pool, net_config=net_config, config=crr_config, seed=seed
+        )
+    else:
+        raise ValueError(f"engine must be fast/legacy, got {engine!r}")
     run = TrainingRun(
         agent=SageAgent(trainer.policy, name="sage"),
         trainer=trainer,

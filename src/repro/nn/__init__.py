@@ -16,6 +16,7 @@ implement the needed subset from scratch:
 """
 
 from repro.nn.autograd import Tensor, as_tensor, no_grad
+from repro.nn.functional import leaky_relu_np, sigmoid_np, softmax_np
 from repro.nn.layers import (
     Module,
     Linear,
@@ -48,4 +49,7 @@ __all__ = [
     "clip_grad_norm",
     "save_params",
     "load_params",
+    "softmax_np",
+    "sigmoid_np",
+    "leaky_relu_np",
 ]

@@ -1,0 +1,56 @@
+"""Shared raw-numpy numerics used outside the autograd graph.
+
+Several no-grad paths — the GMM head's sampler, the CRR target projection,
+the :class:`~repro.core.networks.FastPolicy` inference mirror, and the fused
+training fast path — all need the same handful of stable elementwise
+kernels. They live here once instead of as per-module ``_softmax_np``
+copies.
+
+Every function accepts an optional ``out=`` buffer so hot loops can reuse
+preallocated arrays instead of re-allocating per call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["softmax_np", "sigmoid_np", "leaky_relu_np"]
+
+
+def softmax_np(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Numerically-stable softmax over the last axis (no gradients)."""
+    if out is None:
+        out = np.empty_like(x, dtype=np.float64)
+    np.subtract(x, x.max(axis=-1, keepdims=True), out=out)
+    np.exp(out, out=out)
+    out /= out.sum(axis=-1, keepdims=True)
+    return out
+
+
+def sigmoid_np(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Logistic sigmoid (no gradients)."""
+    if out is None:
+        out = np.empty_like(x, dtype=np.float64)
+    np.multiply(x, -1.0, out=out)
+    np.exp(out, out=out)
+    out += 1.0
+    np.reciprocal(out, out=out)
+    return out
+
+
+def leaky_relu_np(
+    x: np.ndarray, alpha: float = 0.01, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """LeakyReLU (no gradients); ``max(x, alpha*x)`` for ``0 < alpha < 1``.
+
+    ``out`` may alias ``x`` for an in-place update."""
+    if out is None:
+        out = np.empty_like(x, dtype=np.float64)
+    if out is x:
+        np.multiply(out, alpha, where=out < 0, out=out)
+        return out
+    np.multiply(x, alpha, out=out)
+    np.maximum(x, out, out=out)
+    return out

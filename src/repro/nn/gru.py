@@ -59,3 +59,105 @@ class GRU(Module):
             h = self.step(x, h)
             outs.append(h)
         return outs, h
+
+    def forward_seq(self, x_seq: Tensor, h0: Optional[Tensor] = None) -> Tensor:
+        """Fused sequence unroll: ``(L, B, in_dim) -> (L, B, H)``.
+
+        Each gate's weight is split into its input and hidden halves, so the
+        input projections of *all* timesteps run as one ``(L*B, in_dim)``
+        matmul per gate up front; the per-step recurrence is left with only
+        the ``(B, H) @ (H, H)`` hidden products. Mathematically identical to
+        L :meth:`step` calls (the split changes the float summation order of
+        ``[x, h] @ W``, so results agree to rounding, not bitwise).
+
+        The whole unroll is **one graph node** with a hand-written BPTT
+        backward: building ~18 autograd nodes per timestep costs more in
+        Python dispatch than the (B, H) arithmetic itself. The forward
+        evaluates the same float expressions in the same order as the
+        per-op formulation, so outputs are unchanged; gradients are checked
+        against numerical differentiation in ``tests/test_autograd.py``.
+        """
+        l, b, e = x_seq.shape
+        hdim = self.hidden_dim
+        wz, wr, wn = self.wz.W, self.wr.W, self.wn.W
+        bz, br, bn = self.wz.b, self.wr.b, self.wn.b
+        wz_x, wz_h = wz.data[:e], wz.data[e:]
+        wr_x, wr_h = wr.data[:e], wr.data[e:]
+        wn_x, wn_h = wn.data[:e], wn.data[e:]
+        x_flat = x_seq.data.reshape(l * b, e)
+        xz = x_flat @ wz_x + bz.data
+        xr = x_flat @ wr_x + br.data
+        xn = x_flat @ wn_x + bn.data
+        h0_data = h0.data if h0 is not None else np.zeros((b, hdim))
+        n_rows = l * b
+        z_all = np.empty((n_rows, hdim))
+        r_all = np.empty((n_rows, hdim))
+        n_all = np.empty((n_rows, hdim))
+        h_flat = np.empty((n_rows, hdim))
+        h = h0_data
+        for t in range(l):
+            sl = slice(t * b, (t + 1) * b)
+            z = z_all[sl]
+            r = r_all[sl]
+            n = n_all[sl]
+            z[:] = 1.0 / (1.0 + np.exp(-(xz[sl] + h @ wz_h)))
+            r[:] = 1.0 / (1.0 + np.exp(-(xr[sl] + h @ wr_h)))
+            n[:] = np.tanh(xn[sl] + (r * h) @ wn_h)
+            h_flat[sl] = (1.0 - z) * n + z * h
+            h = h_flat[sl]
+        parents = [x_seq, wz, bz, wr, br, wn, bn]
+        if h0 is not None:
+            parents.append(h0)
+        out = Tensor(
+            h_flat.reshape(l, b, hdim),
+            requires_grad=any(p.requires_grad for p in parents),
+            parents=tuple(parents),
+        )
+        if not out.requires_grad:
+            return out
+
+        def _bw(g: np.ndarray) -> None:
+            g2 = g.reshape(n_rows, hdim)
+            h_prev = np.empty((n_rows, hdim))
+            h_prev[:b] = h0_data
+            h_prev[b:] = h_flat[: n_rows - b]
+            dxz = np.empty((n_rows, hdim))
+            dxr = np.empty((n_rows, hdim))
+            dxn = np.empty((n_rows, hdim))
+            carry = np.zeros((b, hdim))
+            for t in range(l - 1, -1, -1):
+                sl = slice(t * b, (t + 1) * b)
+                z, r, n, hp = z_all[sl], r_all[sl], n_all[sl], h_prev[sl]
+                gh = g2[sl] + carry
+                da_n = gh * (1.0 - z) * (1.0 - n * n)
+                dc = da_n @ wn_h.T
+                da_r = dc * hp * r * (1.0 - r)
+                da_z = gh * (hp - n) * z * (1.0 - z)
+                carry = gh * z + dc * r + da_z @ wz_h.T + da_r @ wr_h.T
+                dxz[sl] = da_z
+                dxr[sl] = da_r
+                dxn[sl] = da_n
+            if x_seq.requires_grad:
+                dx = dxz @ wz_x.T
+                dx += dxr @ wr_x.T
+                dx += dxn @ wn_x.T
+                x_seq._accumulate(dx.reshape(l, b, e))
+            for w, bias, dxa, hpart in (
+                (wz, bz, dxz, h_prev),
+                (wr, br, dxr, h_prev),
+                (wn, bn, dxn, None),
+            ):
+                if w.requires_grad:
+                    dw = np.empty_like(w.data)
+                    dw[:e] = x_flat.T @ dxa
+                    if hpart is None:
+                        hpart = r_all * h_prev  # n's recurrent input is r*h
+                    dw[e:] = hpart.T @ dxa
+                    w._accumulate(dw)
+                if bias.requires_grad:
+                    bias._accumulate(dxa.sum(axis=0))
+            if h0 is not None and h0.requires_grad:
+                h0._accumulate(carry)
+
+        out._backward = _bw
+        return out

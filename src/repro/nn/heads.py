@@ -17,6 +17,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.nn.autograd import Tensor, no_grad
+from repro.nn.functional import softmax_np
 from repro.nn.layers import Linear, Module
 
 _LOG_2PI = math.log(2.0 * math.pi)
@@ -73,7 +74,7 @@ class GMMHead(Module):
         """Draw action ratios (shape (B,)); no gradients."""
         with no_grad():
             logits, means, log_std = self._split(h)
-        p = _softmax_np(logits.data)
+        p = softmax_np(logits.data)
         b = p.shape[0]
         comps = np.array([rng.choice(self.n_components, p=p[i]) for i in range(b)])
         mu = means.data[np.arange(b), comps]
@@ -88,12 +89,6 @@ class GMMHead(Module):
         comps = logits.data.argmax(axis=-1)
         mu = means.data[np.arange(means.data.shape[0]), comps]
         return np.exp(np.clip(mu, LOG_ACTION_LO, LOG_ACTION_HI))
-
-
-def _softmax_np(x: np.ndarray) -> np.ndarray:
-    z = x - x.max(axis=-1, keepdims=True)
-    e = np.exp(z)
-    return e / e.sum(axis=-1, keepdims=True)
 
 
 class DistributionalHead(Module):

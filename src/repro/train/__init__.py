@@ -1,0 +1,23 @@
+"""High-throughput CRR training engine (the fused hot path).
+
+The per-timestep :class:`~repro.core.crr.CRRTrainer` builds one autograd
+subgraph per ``(t, layer)`` pair; at the default ``(B=16, L=8)`` scale the
+Python op dispatch — not the math — dominates the step time. This package
+restructures the step around sequence-level kernels:
+
+- :mod:`~repro.train.fastpath` — raw-numpy no-grad kernels (targets,
+  advantage filter) over all ``(B, L)`` timesteps at once, with
+  preallocated ``out=`` buffers.
+- :mod:`~repro.train.sampler` — a thread-based prefetching batch pipeline
+  with deterministic per-batch seed streams.
+- :mod:`~repro.train.engine` — :class:`FastCRRTrainer`, the drop-in
+  trainer combining both with the fused autograd path for the two
+  gradient losses, plus ``.npz`` checkpoint/resume and per-phase timing.
+- :mod:`~repro.train.bench` — the fused-vs-legacy training-throughput
+  benchmark behind ``python -m repro train-bench`` / ``BENCH_train.json``.
+"""
+
+from repro.train.engine import FastCRRTrainer
+from repro.train.sampler import SequenceSampler
+
+__all__ = ["FastCRRTrainer", "SequenceSampler"]

@@ -1,0 +1,344 @@
+"""FastCRRTrainer: the fused sequence-level CRR training engine.
+
+Same learner as :class:`~repro.core.crr.CRRTrainer` (Eq. 5 policy
+evaluation + Eq. 6 advantage-filtered improvement), restructured for
+throughput:
+
+- **No-grad phases on raw numpy.** Bellman targets and the advantage
+  filter run through :mod:`repro.train.fastpath` — plain arrays,
+  preallocated scratch, no autograd dispatch.
+- **Fused gradient phases.** The two losses that *do* need gradients run
+  through the fused ``(L*B, ·)`` autograd path
+  (``features_seq_fused`` / ``recurrent_seq_fused``): one graph over all
+  timesteps instead of ``L`` per-timestep subgraphs.
+- **Prefetched batches.** A :class:`~repro.train.sampler.SequenceSampler`
+  optionally prepares batches on worker threads.
+
+Equivalence contract (vs the legacy engine, ``prefetch=0``, same seed):
+every RNG draw happens in the same order on the same generator — pool
+sampling, then per-timestep target-action draws, then the ``t``-major
+``m_samples`` filter draws — so the random *streams* are bit-identical.
+Floating-point values differ only by summation-order rounding (BLAS
+blocking on the larger fused matmuls, gate-weight splitting in the GRU),
+so ``critic_loss`` / ``policy_loss`` / ``mean_f`` trajectories track the
+legacy engine within accumulated float tolerance rather than bitwise; the
+only mechanism that could amplify a rounding difference is a sampled
+mixture component or binary-filter indicator flipping across the
+boundary, which at float64 has negligible probability per step. The
+regression test pins this tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.collector.pool import PolicyPool
+from repro.core.crr import CRRConfig, CRRTrainer, MetricsCallback
+from repro.core.networks import NetworkConfig, log_action
+from repro.nn.autograd import Tensor
+from repro.nn.functional import softmax_np
+from repro.nn.optim import clip_grad_norm
+from repro.train import fastpath as fp
+from repro.train.sampler import SequenceSampler
+
+__all__ = ["FastCRRTrainer"]
+
+_PHASES = ("sample", "targets", "critic", "filter", "policy", "update")
+
+
+class FastCRRTrainer(CRRTrainer):
+    """Drop-in CRR trainer with the fused hot path.
+
+    Extra parameters on top of :class:`CRRTrainer`:
+
+    ``prefetch``
+        Batches kept in flight by the sampler. ``0`` (default) keeps the
+        legacy bit-identical sampling order; ``>0`` switches to the
+        deterministic per-batch seed stream (see
+        :mod:`repro.train.sampler`).
+    ``sampler_workers``
+        Producer threads when ``prefetch > 0``.
+    """
+
+    def __init__(
+        self,
+        pool: PolicyPool,
+        net_config: Optional[NetworkConfig] = None,
+        config: Optional[CRRConfig] = None,
+        seed: int = 0,
+        state_mask: Optional[np.ndarray] = None,
+        prefetch: int = 0,
+        sampler_workers: int = 1,
+    ) -> None:
+        super().__init__(pool, net_config, config, seed, state_mask)
+        self._bufs = fp.BufferPool()
+        self.sampler = SequenceSampler(
+            pool,
+            self.cfg.batch_size,
+            self.cfg.seq_len,
+            rng=self.rng,
+            normalize=self._normalize,
+            prefetch=prefetch,
+            workers=sampler_workers,
+            seed=seed,
+        )
+        #: cumulative seconds per train-step phase, since construction
+        self.phase_seconds: Dict[str, float] = {k: 0.0 for k in _PHASES}
+        self._train_seconds = 0.0
+        # Polyak pairs, resolved once: the Tensor objects are stable (only
+        # their .data rebinds), so the name matching need not be repeated
+        # every step the way Module.soft_update does.
+        self._polyak_pairs = [
+            (dict(tgt.named_parameters()), dict(src.named_parameters()))
+            for tgt, src in (
+                (self.target_policy, self.policy),
+                (self.target_critic, self.critic),
+            )
+        ]
+        self._polyak_pairs = [
+            [(mine[name], theirs[name]) for name in mine]
+            for mine, theirs in self._polyak_pairs
+        ]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop sampler worker threads (no-op for ``prefetch=0``)."""
+        self.sampler.close()
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Steps/sec plus the per-phase second totals."""
+        out = dict(self.phase_seconds)
+        out["total_s"] = self._train_seconds
+        out["steps_per_s"] = (
+            self.steps_done / self._train_seconds if self._train_seconds else 0.0
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    def train_step(self) -> Dict[str, float]:
+        """One fused policy-evaluation + policy-improvement iteration."""
+        cfg = self.cfg
+        bufs = self._bufs
+        t0 = time.perf_counter()
+
+        batch = self.sampler.next_batch()
+        states = batch["states"]  # (B, L, D), already normalized
+        next_states = batch["next_states"]
+        actions = batch["actions"]  # (B, L) cwnd ratios
+        rewards = batch["rewards"] * cfg.reward_scale
+        b, l, _ = states.shape
+        n = b * l
+        # t-major flats: row t*B + i is batch row i at timestep t
+        log_a = log_action(actions)
+        log_a_flat = np.ascontiguousarray(log_a.T).reshape(n)
+        t1 = time.perf_counter()
+
+        # ---- targets (raw numpy, no graph) ----------------------------
+        # Same RNG order as the legacy per-t loop: actions for timestep t
+        # are drawn before timestep t+1's. The mixture CDF is precomputed
+        # for all rows at once (consumes no RNG).
+        p_tpol = fp.params_of(self.target_policy)
+        tgt_feats = fp.policy_features_seq(
+            self.target_policy, next_states, bufs, "tpol", p=p_tpol
+        )
+        glog, gmu, gls = fp.gmm_split(self.target_policy, tgt_feats, p=p_tpol)
+        gcdf = fp.gmm_cdf(glog)
+        a_next = np.empty(n)
+        for t in range(l):
+            sl = slice(t * b, (t + 1) * b)
+            a_next[sl] = fp.gmm_sample(
+                glog[sl], gmu[sl], gls[sl], self.rng, cdf=gcdf[sl]
+            )
+        p_tcrit = fp.params_of(self.target_critic)
+        tgt_rec = fp.critic_recurrent_seq(
+            self.target_critic, next_states, bufs, "tcrit", p=p_tcrit
+        )
+        next_logits = fp.critic_q_logits(
+            self.target_critic, tgt_rec, log_action(a_next), bufs, "tcrit", p=p_tcrit
+        )
+        next_p = softmax_np(next_logits, out=bufs.get("tcrit.p", next_logits.shape))
+        rewards_flat = np.ascontiguousarray(rewards.T).reshape(n)
+        target_probs = fp.project_target(
+            self.critic.head, rewards_flat, cfg.gamma, next_p
+        )
+        t2 = time.perf_counter()
+
+        # ---- policy evaluation (critic update, Eq. 5) -----------------
+        rec = self.critic.recurrent_seq_fused(states)
+        feats = self.critic.q_features(rec, log_a_flat)
+        # flat mean over L*B rows == legacy mean of per-t means (equal B)
+        critic_loss = self.critic.head.cross_entropy(feats, target_probs)
+        self.opt_critic.zero_grad()
+        critic_loss.backward()
+        clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
+        self.opt_critic.step()
+        t3 = time.perf_counter()
+
+        # ---- advantage filter (raw numpy, no graph) -------------------
+        # The policy features are built on the autograd path because the
+        # improvement step below reuses the same graph; the filter reads
+        # only their .data. Critic features must be recomputed from the
+        # *updated* critic (the optimizer just rebound its weights).
+        pol_feats = self.policy.features_seq_fused(states)
+        plog, pmu, pls = fp.gmm_split(self.policy, pol_feats.data)
+        pcdf = fp.gmm_cdf(plog)
+        p_crit = fp.params_of(self.critic)
+        rec_np = fp.critic_recurrent_seq(self.critic, states, bufs, "crit", p=p_crit)
+        # legacy draw order: t outer, j in m_samples inner
+        m = cfg.m_samples
+        a_samp = np.empty((m, n))
+        for t in range(l):
+            sl = slice(t * b, (t + 1) * b)
+            cdf_t, mu_t, ls_t = pcdf[sl], pmu[sl], pls[sl]
+            for j in range(m):
+                a_samp[j, sl] = fp.gmm_sample(
+                    plog[sl], mu_t, ls_t, self.rng, cdf=cdf_t
+                )
+        # fold the data action + the m baseline draws into one
+        # ((m+1)*N, ·) critic pass: rows [0:N] give Q(s, a_data), the
+        # rest the baseline evaluations
+        hdim = rec_np.shape[1]
+        rec_all = bufs.get("filter.rec_all", ((m + 1) * n, hdim))
+        rec_all.reshape(m + 1, n, hdim)[:] = rec_np
+        la_all = bufs.get("filter.la_all", ((m + 1) * n,))
+        la_all[:n] = log_a_flat
+        la_all[n:] = log_action(a_samp.reshape(-1))
+        q_all = fp.critic_q_values(
+            self.critic, rec_all, la_all, bufs, "critm", p=p_crit
+        )
+        q_data = q_all[:n]
+        q_base = q_all[n:].reshape(m, n)
+        adv = q_data - q_base.sum(axis=0) / m
+        if cfg.filter_type == "binary":
+            f_flat = (adv > 0).astype(float)
+        else:
+            f_flat = np.minimum(np.exp(adv / cfg.adv_temperature), cfg.f_max)
+        t4 = time.perf_counter()
+
+        # ---- policy improvement (Eq. 6) -------------------------------
+        logp = self.policy.log_prob(pol_feats, log_a_flat)
+        policy_loss = (Tensor(f_flat) * logp * -1.0).mean()
+        self.opt_policy.zero_grad()
+        policy_loss.backward()
+        clip_grad_norm(self.policy.parameters(), cfg.grad_clip)
+        self.opt_policy.step()
+        t5 = time.perf_counter()
+
+        # ---- target updates -------------------------------------------
+        # Same math and .data-rebinding semantics as Module.soft_update,
+        # minus the per-step named_parameters dict building.
+        tau = cfg.target_tau
+        for pairs in self._polyak_pairs:
+            for tgt, src in pairs:
+                tgt.data = (1.0 - tau) * tgt.data + tau * src.data
+        t6 = time.perf_counter()
+
+        ph = self.phase_seconds
+        ph["sample"] += t1 - t0
+        ph["targets"] += t2 - t1
+        ph["critic"] += t3 - t2
+        ph["filter"] += t4 - t3
+        ph["policy"] += t5 - t4
+        ph["update"] += t6 - t5
+        self._train_seconds += t6 - t0
+
+        self.steps_done += 1
+        metrics = {
+            "critic_loss": float(critic_loss.data),
+            "policy_loss": float(policy_loss.data),
+            "mean_f": float(f_flat.mean()),
+        }
+        for k, v in metrics.items():
+            self.history[k].append(v)
+        return metrics
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        n_steps: int,
+        log_every: int = 0,
+        metrics_callback: Optional[MetricsCallback] = None,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> Dict[str, float]:
+        """Like :meth:`CRRTrainer.train`, plus periodic checkpointing:
+        every ``checkpoint_every`` steps the full training state is saved
+        to ``checkpoint_path`` (overwritten in place)."""
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        metrics: Dict[str, float] = {}
+        for i in range(n_steps):
+            metrics = self.train_step()
+            if metrics_callback is not None:
+                if log_every == 0 or (i + 1) % log_every == 0:
+                    metrics_callback(self.steps_done, metrics)
+            elif log_every and (i + 1) % log_every == 0:
+                print(
+                    f"step {self.steps_done}: "
+                    f"critic={metrics['critic_loss']:.4f} "
+                    f"policy={metrics['policy_loss']:.4f} "
+                    f"f={metrics['mean_f']:.3f}"
+                )
+            if checkpoint_every and (i + 1) % checkpoint_every == 0:
+                self.save_checkpoint(checkpoint_path)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Checkpointing: everything needed to resume a run mid-stream —
+    # all four networks, both Adam states, the RNG stream, and the
+    # sampler position — in one compressed .npz.
+    def save_checkpoint(self, path: str) -> None:
+        payload: Dict[str, np.ndarray] = {}
+        nets = (
+            ("policy", self.policy),
+            ("critic", self.critic),
+            ("target_policy", self.target_policy),
+            ("target_critic", self.target_critic),
+        )
+        for prefix, net in nets:
+            for name, value in net.state_dict().items():
+                payload[f"{prefix}/{name}"] = value
+        for prefix, opt in (("opt_policy", self.opt_policy), ("opt_critic", self.opt_critic)):
+            payload[f"{prefix}/t"] = np.array([opt.t], dtype=np.int64)
+            for i, (m, v) in enumerate(zip(opt._m, opt._v)):
+                payload[f"{prefix}/m{i}"] = m
+                payload[f"{prefix}/v{i}"] = v
+        payload["meta/steps_done"] = np.array([self.steps_done], dtype=np.int64)
+        payload["meta/batch_index"] = np.array(
+            [self.sampler.batch_index], dtype=np.int64
+        )
+        payload["meta/rng_state"] = np.array(
+            json.dumps(self.rng.bit_generator.state)
+        )
+        np.savez_compressed(path, **payload)
+
+    def load_checkpoint(self, path: str) -> None:
+        with np.load(path, allow_pickle=False) as data:
+            nets = (
+                ("policy", self.policy),
+                ("critic", self.critic),
+                ("target_policy", self.target_policy),
+                ("target_critic", self.target_critic),
+            )
+            for prefix, net in nets:
+                state = {
+                    key[len(prefix) + 1 :]: data[key]
+                    for key in data.files
+                    if key.startswith(f"{prefix}/")
+                }
+                net.load_state_dict(state)
+            for prefix, opt in (
+                ("opt_policy", self.opt_policy),
+                ("opt_critic", self.opt_critic),
+            ):
+                opt.t = int(data[f"{prefix}/t"][0])
+                for i in range(len(opt._m)):
+                    opt._m[i] = data[f"{prefix}/m{i}"].copy()
+                    opt._v[i] = data[f"{prefix}/v{i}"].copy()
+            self.steps_done = int(data["meta/steps_done"][0])
+            self.rng.bit_generator.state = json.loads(str(data["meta/rng_state"]))
+            self.sampler.seek(int(data["meta/batch_index"][0]))

@@ -1,0 +1,176 @@
+"""Deterministic, optionally prefetching sequence-batch pipeline.
+
+``PolicyPool.sample_sequences`` walks Python dicts and fancy-indexes per
+row, so at small network sizes batch assembly is a visible slice of the
+train step. :class:`SequenceSampler` hides that latency by preparing the
+next batch(es) on worker threads while the learner is inside the matmuls
+(numpy releases the GIL there).
+
+Determinism contract:
+
+- ``prefetch=0`` — synchronous: batches are drawn from the trainer's own
+  ``rng`` exactly as ``CRRTrainer._sample_batch`` would, so the sampling
+  order (and the trainer's whole RNG stream) is bit-identical to the
+  legacy engine.
+- ``prefetch>0`` — batch ``k`` is always drawn from a private generator
+  seeded with ``derive_seed(seed, k)`` (the SplitMix64 stream also used by
+  the parallel collector), and batches are handed out strictly in index
+  order. The batch sequence is therefore a pure function of ``(seed, pool)``
+  — independent of thread count and scheduling — but *different* from the
+  ``prefetch=0`` stream, which interleaves sampling draws with the
+  trainer's own network-sampling draws on one generator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.collector.parallel import derive_seed
+from repro.collector.pool import PolicyPool
+
+__all__ = ["SequenceSampler"]
+
+
+class SequenceSampler:
+    """Hands out ``(B, L)`` sequence batches from a :class:`PolicyPool`.
+
+    Parameters
+    ----------
+    rng:
+        Generator used in ``prefetch=0`` mode (typically the trainer's own,
+        to keep the legacy RNG stream). Ignored when ``prefetch > 0``.
+    prefetch:
+        Number of batches kept in flight ahead of the consumer. ``0`` means
+        fully synchronous; ``2`` double-buffers.
+    workers:
+        Producer threads (only meaningful when ``prefetch > 0``).
+    seed:
+        Base seed for the per-batch generators in prefetch mode.
+    start_index:
+        First batch index to produce — used to resume a checkpointed run at
+        the same point of the prefetch seed stream.
+    """
+
+    def __init__(
+        self,
+        pool: PolicyPool,
+        batch_size: int,
+        seq_len: int,
+        rng: Optional[np.random.Generator] = None,
+        normalize: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        prefetch: int = 0,
+        workers: int = 1,
+        seed: int = 0,
+        start_index: int = 0,
+    ) -> None:
+        if prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.pool = pool
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.normalize = normalize
+        self.prefetch = int(prefetch)
+        self.workers = int(workers)
+        self.seed = int(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        #: index of the next batch to hand out (== batches served so far
+        #: when started at 0); checkpointed by the training engine.
+        self.batch_index = int(start_index)
+
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._ready: Dict[int, Dict[str, np.ndarray]] = {}
+        self._produce_index = int(start_index)
+        self._slots = threading.Semaphore(max(self.prefetch, 1))
+        self._stop = False
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def _draw(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return self.pool.sample_sequences(
+            self.batch_size, self.seq_len, rng, normalize=self.normalize
+        )
+
+    def _worker(self) -> None:
+        while True:
+            self._slots.acquire()
+            with self._lock:
+                if self._stop:
+                    return
+                index = self._produce_index
+                self._produce_index += 1
+            try:
+                batch = self._draw(np.random.default_rng(derive_seed(self.seed, index)))
+            except BaseException as exc:  # propagate into next_batch()
+                with self._cond:
+                    self._error = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._ready[index] = batch
+                self._cond.notify_all()
+
+    def _ensure_started(self) -> None:
+        if self._threads or self.prefetch == 0:
+            return
+        if self._stop:  # restarted after close(): resync producer state
+            self.seek(self.batch_index)
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker, name=f"sampler-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    # ------------------------------------------------------------------
+    def next_batch(self) -> Dict[str, np.ndarray]:
+        """The next batch, in deterministic index order."""
+        if self.prefetch == 0:
+            self.batch_index += 1
+            return self._draw(self.rng)
+        self._ensure_started()
+        index = self.batch_index
+        self.batch_index += 1
+        with self._cond:
+            while index not in self._ready:
+                if self._error is not None:
+                    raise RuntimeError("sampler worker failed") from self._error
+                self._cond.wait(timeout=0.1)
+            batch = self._ready.pop(index)
+        self._slots.release()
+        return batch
+
+    def seek(self, index: int) -> None:
+        """Restart production at batch ``index`` (checkpoint resume)."""
+        self.close()
+        self.batch_index = int(index)
+        self._produce_index = int(index)
+        self._ready.clear()
+        self._error = None
+        self._stop = False
+        self._threads = []
+        self._slots = threading.Semaphore(max(self.prefetch, 1))
+
+    def close(self) -> None:
+        """Stop producer threads; the sampler can be restarted via seek()."""
+        if not self._threads:
+            return
+        with self._lock:
+            self._stop = True
+        for _ in self._threads:
+            self._slots.release()  # wake anyone blocked on a slot
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "SequenceSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

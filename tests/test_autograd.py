@@ -168,6 +168,79 @@ class TestComposites:
         np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
 
 
+class TestGRUSeqBackward:
+    """The fused GRU unroll is one graph node with a hand-written BPTT
+    backward — check it against numerical differentiation and the
+    per-step reference unroll."""
+
+    def _gru(self, e=3, h=4, seed=0):
+        from repro.nn.gru import GRU
+
+        return GRU(e, h, np.random.default_rng(seed))
+
+    def test_forward_matches_step_unroll(self):
+        from repro.nn.autograd import stack_rows as stack
+
+        gru = self._gru()
+        x = np.random.default_rng(1).standard_normal((5, 2, 3))
+        fused = gru.forward_seq(Tensor(x)).data
+        outs, _ = gru.forward([Tensor(x[t]) for t in range(5)])
+        ref = stack(outs).data
+        np.testing.assert_allclose(fused, ref, rtol=1e-12, atol=1e-12)
+
+    def test_input_grad_numerical(self):
+        gru = self._gru()
+        x = np.random.default_rng(2).standard_normal((4, 2, 3))
+        t = Tensor(x, requires_grad=True)
+        gru.forward_seq(t).sum().backward()
+        num = numerical_grad(
+            lambda v: float(gru.forward_seq(Tensor(v)).sum().data), x
+        )
+        np.testing.assert_allclose(t.grad, num, atol=1e-5, rtol=1e-4)
+
+    def test_weight_and_bias_grads_numerical(self):
+        gru = self._gru()
+        x = np.random.default_rng(3).standard_normal((3, 2, 3))
+
+        def loss():
+            return gru.forward_seq(Tensor(x)).sum()
+
+        loss().backward()
+        for lin in (gru.wz, gru.wr, gru.wn):
+            for p in (lin.W, lin.b):
+                got = p.grad
+
+                def f(v, p=p):
+                    old = p.data
+                    p.data = v
+                    try:
+                        return float(loss().data)
+                    finally:
+                        p.data = old
+
+                num = numerical_grad(f, p.data)
+                np.testing.assert_allclose(got, num, atol=1e-5, rtol=1e-4)
+
+    def test_h0_grad_numerical(self):
+        gru = self._gru()
+        x = np.random.default_rng(4).standard_normal((3, 2, 3))
+        h0 = np.random.default_rng(5).standard_normal((2, 4)) * 0.3
+        t = Tensor(h0, requires_grad=True)
+        gru.forward_seq(Tensor(x), h0=t).sum().backward()
+        num = numerical_grad(
+            lambda v: float(gru.forward_seq(Tensor(x), h0=Tensor(v)).sum().data),
+            h0,
+        )
+        np.testing.assert_allclose(t.grad, num, atol=1e-5, rtol=1e-4)
+
+    def test_no_grad_detaches(self):
+        gru = self._gru()
+        x = np.random.default_rng(6).standard_normal((3, 2, 3))
+        with no_grad():
+            out = gru.forward_seq(Tensor(x, requires_grad=True))
+        assert not out.requires_grad
+
+
 class TestGraphMechanics:
     def test_grad_accumulates_across_uses(self):
         t = Tensor(np.ones(3), requires_grad=True)

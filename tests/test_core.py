@@ -178,9 +178,51 @@ class TestCRR:
         with pytest.raises(ValueError):
             CRRConfig(gamma=1.5)
         with pytest.raises(ValueError):
+            CRRConfig(gamma=0.0)
+        with pytest.raises(ValueError):
             CRRConfig(batch_size=0)
         with pytest.raises(ValueError):
+            CRRConfig(seq_len=0)
+        with pytest.raises(ValueError):
+            CRRConfig(m_samples=0)
+        with pytest.raises(ValueError):
             CRRConfig(filter_type="softmax")
+        with pytest.raises(ValueError):
+            CRRConfig(history_limit=0)
+        assert CRRConfig(history_limit=None).history_limit is None
+
+    def test_policy_features_computed_once_per_step(self):
+        # The train step reuses one features_seq pass for both the
+        # advantage filter and the improvement loss.
+        t = self._trainer()
+        calls = {"n": 0}
+        orig = t.policy.features_seq
+
+        def counting(states):
+            calls["n"] += 1
+            return orig(states)
+
+        t.policy.features_seq = counting
+        t.train_step()
+        assert calls["n"] == 1
+
+    def test_history_limit_bounds_metrics(self):
+        pool = synthetic_pool(np.random.default_rng(3))
+        cfg = CRRConfig(batch_size=4, seq_len=4, history_limit=3)
+        t = CRRTrainer(pool, net_config=TINY, config=cfg, seed=3)
+        t.train(5)
+        assert all(len(h) == 3 for h in t.history.values())
+
+    def test_metrics_callback_replaces_print(self, capsys):
+        t = self._trainer()
+        seen = []
+        t.train(4, log_every=2, metrics_callback=lambda s, m: seen.append(s))
+        assert seen == [2, 4]
+        assert capsys.readouterr().out == ""
+        # log_every=0 with a callback fires every step
+        seen.clear()
+        t.train(2, metrics_callback=lambda s, m: seen.append(s))
+        assert len(seen) == 2
 
     def test_binary_filter_trains(self):
         pool = synthetic_pool(np.random.default_rng(4))
@@ -259,3 +301,32 @@ class TestTrainingPipeline:
         pool = synthetic_pool(np.random.default_rng(9))
         with pytest.raises(ValueError):
             train_sage_on_pool(pool, n_steps=2, n_checkpoints=5)
+
+    def test_agent_at_reconstruction_deterministic(self):
+        # agent_at must rebuild each "day" exactly: two reconstructions of
+        # the same checkpoint make identical decisions, and a later
+        # checkpoint (more training) decides differently.
+        from repro.core.training import train_sage_on_pool
+
+        pool = synthetic_pool(np.random.default_rng(10))
+        run = train_sage_on_pool(
+            pool, n_steps=6, n_checkpoints=3, net_config=TINY,
+            crr_config=CRRConfig(batch_size=4, seq_len=4), seed=10,
+        )
+        rng = np.random.default_rng(11)
+        states = rng.standard_normal((10, STATE_DIM))
+
+        def decisions(agent):
+            agent.reset()
+            return [agent.act(s) for s in states]
+
+        d0a = decisions(run.agent_at(0, deterministic=True))
+        d0b = decisions(run.agent_at(0, deterministic=True))
+        assert d0a == d0b
+        d2 = decisions(run.agent_at(2, deterministic=True))
+        assert d0a != d2
+        # final checkpoint matches the live policy's weights
+        last = run.checkpoints[-1]
+        live = run.trainer.policy.state_dict()
+        for k in last:
+            np.testing.assert_array_equal(last[k], live[k])
