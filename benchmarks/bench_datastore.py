@@ -1,0 +1,286 @@
+"""Datastore benchmark: ingest rate, window throughput, and peak RSS.
+
+Three measurements over the same synthetic pool, written to
+``BENCH_datastore.json``:
+
+- **ingest** — MB/s streaming trajectories through a ``ShardWriter``
+  (checksums + atomic commits included);
+- **sampling** — ``sample_sequences`` windows/s for the in-memory
+  ``PolicyPool`` vs the mmap-backed ``ShardedPool``, plus a bit-identity
+  check on the draws;
+- **peak RSS** — maximum resident set of a ``train_sage_on_pool`` run on
+  the monolithic ``.npz`` vs the sharded store. Each run happens in a
+  fresh subprocess so the two high-water marks can't contaminate each
+  other; the sharded run must come in measurably lower (the pool is paged
+  in on demand and never concatenated).
+
+Runs two ways:
+
+- standalone: ``PYTHONPATH=src python benchmarks/bench_datastore.py``
+  (``--tiny`` for a seconds-scale CI smoke run);
+- under pytest-benchmark with the rest of the bench suite:
+  ``pytest benchmarks/bench_datastore.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.collector.pool import PolicyPool, Trajectory  # noqa: E402
+from repro.datastore import ShardWriter, ShardedPool, pack_pool  # noqa: E402
+
+OUT_PATH = REPO / "BENCH_datastore.json"
+STATE_DIM = 69
+
+
+def synthetic_pool(n_rows: int, traj_len: int = 400, seed: int = 0) -> PolicyPool:
+    """A pool of ``n_rows`` total transitions split into equal trajectories."""
+    rng = np.random.default_rng(seed)
+    trajs = []
+    for i in range(max(n_rows // traj_len, 1)):
+        trajs.append(
+            Trajectory(
+                scheme=f"s{i % 13}",
+                env_id=f"env-{i}",
+                multi_flow=bool(i % 2),
+                states=rng.standard_normal((traj_len, STATE_DIM)),
+                actions=rng.uniform(0.5, 2.0, size=traj_len),
+                rewards=rng.uniform(0.0, 1.0, size=traj_len),
+            )
+        )
+    return PolicyPool(trajs)
+
+
+def pool_nbytes(pool: PolicyPool) -> int:
+    return sum(
+        t.states.nbytes + t.actions.nbytes + t.rewards.nbytes
+        for t in pool.trajectories
+    )
+
+
+# --------------------------------------------------------------------------
+# Phase runners
+# --------------------------------------------------------------------------
+
+
+def bench_ingest(pool: PolicyPool, store_dir: Path, shard_mb: int) -> dict:
+    t0 = time.perf_counter()
+    with ShardWriter(store_dir, shard_bytes=shard_mb << 20) as writer:
+        for traj in pool.trajectories:
+            writer.add(traj)
+    elapsed = time.perf_counter() - t0
+    mb = pool_nbytes(pool) / 1e6
+    return {
+        "pool_mb": round(mb, 2),
+        "n_shards": writer.n_shards,
+        "elapsed_s": round(elapsed, 3),
+        "ingest_mb_per_s": round(mb / elapsed, 2),
+    }
+
+
+def bench_sampling(pool: PolicyPool, store_dir: Path,
+                   draws: int, batch: int = 16, seq: int = 8) -> dict:
+    sharded = ShardedPool.open(store_dir)
+
+    a = pool.sample_sequences(batch, seq, np.random.default_rng(123))
+    b = sharded.sample_sequences(batch, seq, np.random.default_rng(123))
+    identical = all(np.array_equal(a[k], b[k]) for k in a)
+
+    def run(p):
+        rng = np.random.default_rng(7)
+        t0 = time.perf_counter()
+        for _ in range(draws):
+            p.sample_sequences(batch, seq, rng)
+        return time.perf_counter() - t0
+
+    # warm each path once so file opens / cache build don't skew the clock
+    run_mem = min(run(pool), run(pool))
+    run_shard = min(run(sharded), run(sharded))
+    windows = draws * batch
+    return {
+        "draws": draws,
+        "batch": batch,
+        "seq_len": seq,
+        "bit_identical": identical,
+        "in_memory_windows_per_s": round(windows / run_mem, 1),
+        "sharded_windows_per_s": round(windows / run_shard, 1),
+        "sharded_vs_memory": round(run_mem / run_shard, 3),
+    }
+
+
+def _reset_rss_watermark() -> None:
+    # A child spawned via vfork/posix_spawn can inherit the parent's rusage
+    # high-water mark; clearing refs restarts the kernel's VmHWM tracking.
+    try:
+        with open("/proc/self/clear_refs", "w") as f:
+            f.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_kb() -> int:
+    # Prefer VmHWM: unlike getrusage's ru_maxrss it tracks this process's
+    # own address space, not the accounting inherited across vfork.
+    try:
+        with open("/proc/self/status") as f:
+            for line in f:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _train_phase(pool_path: str, steps: int) -> dict:
+    """Child-process body: train on either pool flavor, report peak RSS."""
+    _reset_rss_watermark()
+    from repro.core.networks import NetworkConfig
+    from repro.core.training import train_sage_on_pool
+    from repro.datastore import open_pool
+
+    pool = open_pool(pool_path)
+    net = NetworkConfig(enc_dim=16, gru_dim=16, n_components=2, n_atoms=7)
+    train_sage_on_pool(pool, n_steps=steps, n_checkpoints=1,
+                       net_config=net, seed=0)
+    return {"peak_rss_mb": round(_peak_rss_kb() / 1024.0, 1), "steps": steps}
+
+
+def bench_peak_rss(npz_path: Path, store_dir: Path, steps: int) -> dict:
+    """Run the training phase once per pool flavor, each in a fresh process."""
+    out = {}
+    for key, pool_path in (("in_memory", npz_path), ("sharded", store_dir)):
+        proc = subprocess.run(
+            [sys.executable, str(Path(__file__).resolve()),
+             "--phase", "train", "--pool", str(pool_path),
+             "--steps", str(steps)],
+            capture_output=True, text=True, check=True,
+        )
+        out[key] = json.loads(proc.stdout)
+    out["rss_saving_mb"] = round(
+        out["in_memory"]["peak_rss_mb"] - out["sharded"]["peak_rss_mb"], 1
+    )
+    out["sharded_lower"] = (
+        out["sharded"]["peak_rss_mb"] < out["in_memory"]["peak_rss_mb"]
+    )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Orchestration
+# --------------------------------------------------------------------------
+
+
+def run_bench(tiny: bool = False, workdir: Path = None) -> dict:
+    import tempfile
+
+    n_rows = 60_000 if tiny else 200_000
+    steps = 50 if tiny else 200
+    draws = 100 if tiny else 300
+    shard_mb = 4 if tiny else 16
+
+    ctx = tempfile.TemporaryDirectory() if workdir is None else None
+    base = Path(ctx.name) if ctx else Path(workdir)
+    try:
+        pool = synthetic_pool(n_rows)
+        npz_path = base / "pool.npz"
+        store_dir = base / "shards"
+        pool.save(npz_path)
+
+        result = {
+            "scale": "tiny" if tiny else "small",
+            "n_trajectories": len(pool),
+            "n_transitions": pool.n_transitions,
+            "train_steps": steps,
+            "ingest": bench_ingest(pool, store_dir, shard_mb),
+            "sampling": bench_sampling(pool, store_dir, draws),
+            "peak_rss": bench_peak_rss(npz_path, store_dir, steps),
+        }
+        return result
+    finally:
+        if ctx:
+            ctx.cleanup()
+
+
+def write_report(result: dict, path: Path = OUT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def print_report(result: dict) -> None:
+    ing, smp, rss = result["ingest"], result["sampling"], result["peak_rss"]
+    print(f"\n=== datastore bench ({result['n_transitions']} transitions, "
+          f"{ing['pool_mb']} MB) ===")
+    print(f"ingest: {ing['ingest_mb_per_s']} MB/s into "
+          f"{ing['n_shards']} shards")
+    print(f"sampling: in-memory {smp['in_memory_windows_per_s']} windows/s, "
+          f"sharded {smp['sharded_windows_per_s']} windows/s "
+          f"({smp['sharded_vs_memory']}x), "
+          f"bit-identical={smp['bit_identical']}")
+    print(f"peak RSS over {result['train_steps']} train steps: "
+          f"in-memory {rss['in_memory']['peak_rss_mb']} MB, "
+          f"sharded {rss['sharded']['peak_rss_mb']} MB "
+          f"(saving {rss['rss_saving_mb']} MB)")
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry point
+# --------------------------------------------------------------------------
+
+
+def test_datastore_throughput(benchmark):
+    from conftest import once
+
+    result = once(benchmark, lambda: run_bench(tiny=True))
+    print_report(result)
+    write_report(result)
+    assert result["sampling"]["bit_identical"], (
+        "sharded draws diverged from the in-memory pool"
+    )
+    assert result["peak_rss"]["sharded_lower"], (
+        "sharded training should peak below the in-memory baseline"
+    )
+
+
+# --------------------------------------------------------------------------
+# standalone entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke run (CI)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    parser.add_argument("--phase", choices=("train",), default=None,
+                        help=argparse.SUPPRESS)  # internal subprocess hook
+    parser.add_argument("--pool", default="", help=argparse.SUPPRESS)
+    parser.add_argument("--steps", type=int, default=50, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.phase == "train":
+        print(json.dumps(_train_phase(args.pool, args.steps)))
+        return 0
+
+    result = run_bench(tiny=args.tiny)
+    print_report(result)
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
+    if not result["sampling"]["bit_identical"]:
+        print("ERROR: sharded draws diverged from the in-memory pool")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,12 +2,16 @@
 
 Usage::
 
-    python -m repro collect --scale mini --out pool.npz
-    python -m repro train   --pool pool.npz --steps 300 --out sage.npz
+    python -m repro collect --scale mini --out pool.npz [--store shards/]
+    python -m repro train   --pool pool.npz|shards/ --steps 300 --out sage.npz
     python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz --serve]
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
     python -m repro serve-bench --flows 64
     python -m repro train-bench --pool pool.npz
+    python -m repro pool pack pool.npz shards/     # legacy .npz -> shards
+    python -m repro pool merge w0/ w1/ -o shards/  # per-worker dirs -> one
+    python -m repro pool verify shards/            # audit + quarantine
+    python -m repro pool stats shards/             # inventory + checksums
 
 Each subcommand wraps the same public API the examples use; nothing here is
 load-bearing beyond argument parsing.
@@ -27,25 +31,31 @@ def _cmd_collect(args) -> int:
     from repro.core.training import collect_pool
 
     schemes = args.schemes.split(",") if args.schemes else None
+    store = args.store or None
     pool = collect_pool(
         training_environments(args.scale),
         schemes=schemes,
         progress=(lambda msg: print(msg)) if args.verbose else None,
         workers=args.workers,
+        store=store,
+        shard_bytes=args.shard_mb * (1 << 20) if store else None,
     )
-    pool.save(args.out)
     print(pool.summary())
-    print(f"saved pool to {args.out}")
+    if store:
+        print(f"streamed pool into sharded store {store}")
+    else:
+        pool.save(args.out)
+        print(f"saved pool to {args.out}")
     return 0
 
 
 def _cmd_train(args) -> int:
-    from repro.collector.pool import PolicyPool
     from repro.core.crr import CRRConfig
     from repro.core.networks import NetworkConfig
     from repro.core.training import train_sage_on_pool
+    from repro.datastore import open_pool
 
-    pool = PolicyPool.load(args.pool)
+    pool = open_pool(args.pool)
     net = NetworkConfig(
         enc_dim=args.enc_dim, gru_dim=args.gru_dim,
         n_components=args.components, n_atoms=args.atoms,
@@ -113,12 +123,12 @@ def _cmd_deploy(args) -> int:
 
 
 def _cmd_train_bench(args) -> int:
-    from repro.collector.pool import PolicyPool
     from repro.core.crr import CRRConfig
     from repro.core.networks import NetworkConfig
+    from repro.datastore import open_pool
     from repro.train.bench import format_report, run_train_bench, write_report
 
-    pool = PolicyPool.load(args.pool) if args.pool else None
+    pool = open_pool(args.pool) if args.pool else None
     net = NetworkConfig(
         enc_dim=args.enc_dim, gru_dim=args.gru_dim,
         n_components=args.components, n_atoms=args.atoms,
@@ -154,6 +164,43 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_pool_pack(args) -> int:
+    from repro.datastore import pack_pool, store_stats
+
+    pool = pack_pool(args.source, args.out, shard_bytes=args.shard_mb << 20)
+    print(store_stats(args.out))
+    print(f"packed {args.source} -> {args.out} "
+          f"({len(pool.manifest.shards)} shards)")
+    return 0
+
+
+def _cmd_pool_merge(args) -> int:
+    from repro.datastore import merge_stores, store_stats
+
+    pool = merge_stores(args.sources, args.out, shard_bytes=args.shard_mb << 20)
+    print(store_stats(args.out))
+    print(f"merged {len(args.sources)} source(s) -> {args.out} "
+          f"({len(pool)} trajectories)")
+    return 0
+
+
+def _cmd_pool_verify(args) -> int:
+    from repro.datastore import verify
+
+    report = verify(args.store, quarantine=not args.no_quarantine)
+    print(report.format())
+    if not report.clean and args.strict:
+        return 1
+    return 0
+
+
+def _cmd_pool_stats(args) -> int:
+    from repro.datastore import store_stats
+
+    print(store_stats(args.store))
+    return 0
+
+
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
     import os
 
@@ -180,12 +227,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("mini", "small", "full"), default="mini")
     p.add_argument("--schemes", default="", help="comma-separated subset")
     p.add_argument("--out", default="pool.npz")
+    p.add_argument("--store", default="",
+                   help="stream rollouts into a sharded store directory "
+                        "instead of a monolithic .npz (overrides --out)")
+    p.add_argument("--shard-mb", type=int, default=32, dest="shard_mb",
+                   help="per-shard byte budget for --store, in MiB")
     p.add_argument("--verbose", action="store_true")
     _add_workers_arg(p)
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("train", help="train Sage offline on a saved pool")
-    p.add_argument("--pool", required=True)
+    p.add_argument("--pool", required=True,
+                   help="pool .npz or sharded store directory")
     p.add_argument("--steps", type=int, default=300)
     p.add_argument("--checkpoints", type=int, default=7)
     p.add_argument("--seed", type=int, default=0)
@@ -242,6 +295,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_train.json")
     _add_net_args(p)
     p.set_defaults(func=_cmd_train_bench)
+
+    p = sub.add_parser(
+        "pool", help="manage sharded trajectory stores (the data plane)"
+    )
+    pool_sub = p.add_subparsers(dest="pool_command", required=True)
+
+    q = pool_sub.add_parser(
+        "pack", help="convert a legacy .npz pool into a sharded store"
+    )
+    q.add_argument("source", help="legacy pool .npz (or an existing store)")
+    q.add_argument("out", help="output store directory")
+    q.add_argument("--shard-mb", type=int, default=32, dest="shard_mb",
+                   help="per-shard byte budget, in MiB")
+    q.set_defaults(func=_cmd_pool_pack)
+
+    q = pool_sub.add_parser(
+        "merge", help="merge stores / pools (e.g. per-worker shard dirs)"
+    )
+    q.add_argument("sources", nargs="+",
+                   help="store directories or legacy .npz pools, in order")
+    q.add_argument("-o", "--out", required=True, help="output store directory")
+    q.add_argument("--shard-mb", type=int, default=32, dest="shard_mb")
+    q.set_defaults(func=_cmd_pool_merge)
+
+    q = pool_sub.add_parser(
+        "verify", help="audit shard checksums; quarantine corrupt shards"
+    )
+    q.add_argument("store", help="store directory")
+    q.add_argument("--no-quarantine", action="store_true", dest="no_quarantine",
+                   help="report corruption without moving shards")
+    q.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any shard was corrupt")
+    q.set_defaults(func=_cmd_pool_verify)
+
+    q = pool_sub.add_parser(
+        "stats", help="per-scheme transition counts + shard/checksum table"
+    )
+    q.add_argument("store", help="store directory")
+    q.set_defaults(func=_cmd_pool_stats)
 
     p = sub.add_parser(
         "serve-bench",

@@ -42,9 +42,11 @@ from repro.collector.rollout import RolloutResult, collect_trajectory, run_polic
 from repro.collector.pool import PolicyPool, Trajectory
 from repro.collector.parallel import (
     CollectionReport,
+    OrderedConsumer,
     ProgressEvent,
     RolloutTask,
     collect_pool_parallel,
+    collect_pool_to_store,
     collect_rollouts,
     derive_seed,
     make_rollout_tasks,
@@ -71,9 +73,11 @@ __all__ = [
     "PolicyPool",
     "Trajectory",
     "CollectionReport",
+    "OrderedConsumer",
     "ProgressEvent",
     "RolloutTask",
     "collect_pool_parallel",
+    "collect_pool_to_store",
     "collect_rollouts",
     "derive_seed",
     "make_rollout_tasks",

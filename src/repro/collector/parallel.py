@@ -145,6 +145,40 @@ class CollectionError(RuntimeError):
     """Raised by strict pool builders when tasks failed permanently."""
 
 
+class OrderedConsumer:
+    """Re-serialize out-of-order task completions into index order.
+
+    Wraps a ``sink(result)`` callable: results may arrive in any completion
+    order (and retried tasks arrive late), but the sink only ever sees the
+    contiguous prefix, in task order. Used to stream rollouts into a
+    :class:`~repro.datastore.writer.ShardWriter` so the shard layout — and
+    therefore sampling — is deterministic whatever the worker scheduling
+    was. Memory is bounded by the out-of-order slack, not the run size.
+    """
+
+    def __init__(self, sink: Callable[[Any], None], start: int = 0) -> None:
+        self._sink = sink
+        self._next = int(start)
+        self._held: dict = {}
+
+    def __call__(self, index: int, result: Any) -> None:
+        self._held[index] = result
+        while self._next in self._held:
+            self._sink(self._held.pop(self._next))
+            self._next += 1
+
+    @property
+    def held(self) -> int:
+        """Results buffered waiting for an earlier index."""
+        return len(self._held)
+
+    def finish(self) -> None:
+        """Flush past permanently-failed indices (non-strict runs only)."""
+        for index in sorted(self._held):
+            self._sink(self._held.pop(index))
+            self._next = index + 1
+
+
 # --------------------------------------------------------------------------
 # Worker-side functions (must be module-level so they pickle)
 # --------------------------------------------------------------------------
@@ -195,6 +229,7 @@ def run_tasks(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
+    consume: Optional[Callable[[int, Any], None]] = None,
 ) -> Tuple[List[Any], CollectionReport]:
     """Run ``fn`` over every task, fanning across worker processes.
 
@@ -211,11 +246,18 @@ def run_tasks(
         Tasks per worker dispatch; ``None`` picks a balanced default.
     progress:
         Called with a :class:`ProgressEvent` after every completed task.
+    consume:
+        Streaming hook: called as ``consume(index, result)`` the moment a
+        task succeeds, *instead of* retaining the result — ``results[i]``
+        stays ``None`` for consumed tasks, so a large run never accumulates
+        in driver memory. Completion order is arbitrary; wrap the hook in
+        :class:`OrderedConsumer` when the sink needs task order.
 
     Returns
     -------
     ``(results, report)`` — ``results[i]`` is ``fn(tasks[i])``, or ``None``
-    if the task failed twice (see ``report.failures``).
+    if the task failed twice (see ``report.failures``) or was handed to
+    ``consume``.
     """
     n = len(tasks)
     workers = default_workers() if workers is None else max(int(workers), 1)
@@ -253,7 +295,7 @@ def run_tasks(
             attempt_errors: List[str] = []
             for _attempt in range(2):
                 try:
-                    results[i] = fn(task)
+                    outcome = fn(task)
                     break
                 except BaseException as exc:  # noqa: BLE001
                     if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -269,6 +311,12 @@ def run_tasks(
                     )
                 )
                 continue
+            # consume errors are driver-side (e.g. disk full) and must not
+            # be retried as if the task itself had failed
+            if consume is not None:
+                consume(i, outcome)
+            else:
+                results[i] = outcome
             if attempt_errors:
                 report.n_retried += 1
             _emit(i, retried=bool(attempt_errors))
@@ -314,7 +362,10 @@ def run_tasks(
                     continue
                 for index, ok, payload in triples:
                     if ok:
-                        results[index] = payload
+                        if consume is not None:
+                            consume(index, payload)
+                        else:
+                            results[index] = payload
                         retried = round_no > 0
                         if retried:
                             report.n_retried += 1
@@ -422,3 +473,65 @@ def collect_pool_parallel(
         if rollout is not None:
             pool.add_rollout(rollout)
     return pool
+
+
+def collect_pool_to_store(
+    environments: Sequence[EnvConfig],
+    schemes: Sequence[str],
+    store,
+    windows: Optional[WindowConfig] = None,
+    tick: float = TICK,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[ProgressEvent], None]] = None,
+    base_seed: int = 0,
+    strict: bool = True,
+    shard_bytes: Optional[int] = None,
+):
+    """Stream the pool of policies straight into a sharded store.
+
+    Unlike :func:`collect_pool_parallel`, rollouts never accumulate in the
+    driver: each one is committed to a
+    :class:`~repro.datastore.writer.ShardWriter` the moment its turn in
+    task order comes up (an :class:`OrderedConsumer` re-serializes worker
+    completions), so peak driver memory is bounded by the out-of-order
+    slack, not the pool size. The shard layout is deterministic — identical
+    for any ``workers`` — and sampling the returned
+    :class:`~repro.datastore.reader.ShardedPool` is bit-identical to
+    sampling the in-memory pool the serial loop would have built.
+
+    ``store`` is a directory path or an existing ``ShardWriter`` (left
+    open for further appends; paths are finalized before returning).
+    """
+    from repro.datastore.reader import ShardedPool
+    from repro.datastore.writer import DEFAULT_SHARD_BYTES, ShardWriter
+
+    tasks = make_rollout_tasks(
+        environments, schemes, windows=windows, tick=tick, base_seed=base_seed
+    )
+    if isinstance(store, ShardWriter):
+        writer, owns_writer = store, False
+    else:
+        writer = ShardWriter(
+            store,
+            shard_bytes=DEFAULT_SHARD_BYTES if shard_bytes is None else shard_bytes,
+        )
+        owns_writer = True
+    consumer = OrderedConsumer(writer.add_rollout)
+    try:
+        _results, report = run_tasks(
+            tasks, fn=_run_rollout_task, workers=workers,
+            chunksize=chunksize, progress=progress, consume=consumer,
+        )
+        if strict and report.failures:
+            try:
+                report.raise_on_failure()
+            except RuntimeError as exc:
+                raise CollectionError(str(exc)) from None
+        consumer.finish()  # skip past permanently-failed slots (non-strict)
+    finally:
+        if owns_writer:
+            writer.close()
+        else:
+            writer.flush()
+    return ShardedPool.open(writer.root)

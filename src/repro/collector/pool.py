@@ -13,11 +13,89 @@ scheme and environment that produced them. It supports:
 
 from __future__ import annotations
 
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def _escape_meta(field: str) -> str:
+    """Escape ``\\`` and the ``|`` separator so any scheme/env_id round-trips."""
+    return field.replace("\\", "\\\\").replace("|", "\\|")
+
+
+def _split_meta(meta: str) -> List[str]:
+    """Split a meta line on unescaped ``|`` and unescape the fields."""
+    fields: List[str] = []
+    current: List[str] = []
+    escaped = False
+    for ch in meta:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "|":
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if escaped:
+        raise ValueError(f"malformed pool meta (dangling escape): {meta!r}")
+    fields.append("".join(current))
+    return fields
+
+
+def parse_meta(meta: str) -> Tuple[str, str, bool]:
+    """Decode one ``scheme|env_id|multi_flow`` meta line.
+
+    Raises a clear :class:`ValueError` on a malformed line instead of
+    silently mis-assigning fields (the historical ``split("|")`` broke as
+    soon as an ``env_id`` contained ``|``).
+    """
+    fields = _split_meta(meta)
+    if len(fields) != 3 or fields[2] not in ("0", "1"):
+        raise ValueError(
+            f"malformed pool meta entry {meta!r}: expected "
+            "'scheme|env_id|multi_flow' with multi_flow in {0, 1}"
+        )
+    scheme, env_id, multi = fields
+    return scheme, env_id, multi == "1"
+
+
+def draw_window_starts(
+    lengths: np.ndarray,
+    seq_len: int,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``batch_size`` window starts over trajectories of ``lengths``.
+
+    Returns ``(traj_idx, local_starts)``: which trajectory each window came
+    from and the start row *within* that trajectory. Windows cover
+    ``seq_len + 1`` consecutive rows; trajectories shorter than that are
+    never drawn, and eligible ones are weighted by their number of valid
+    starts (every window position in the pool is equally likely).
+
+    This is the single source of the sampling RNG stream: both
+    :class:`PolicyPool` and the out-of-core ``repro.datastore.ShardedPool``
+    call it, which is what makes their draws bit-identical for the same
+    seed and trajectory ordering.
+    """
+    slack = lengths - seq_len  # number of valid window starts per traj
+    eligible = np.nonzero(slack > 0)[0]
+    if eligible.size == 0:
+        raise ValueError(
+            f"no trajectory longer than seq_len+1={seq_len + 1} in the pool"
+        )
+    weights = slack[eligible].astype(float)
+    probs = weights / weights.sum()
+    idx = eligible[rng.choice(eligible.size, size=batch_size, p=probs)]
+    starts = rng.integers(0, slack[idx])
+    return idx, starts
 
 
 @dataclass
@@ -136,16 +214,8 @@ class PolicyPool:
         arrays — no per-window Python loop.
         """
         big_s, big_a, big_r, offsets, lengths = self._concat_arrays()
-        slack = lengths - seq_len  # number of valid window starts per traj
-        eligible = np.nonzero(slack > 0)[0]
-        if eligible.size == 0:
-            raise ValueError(
-                f"no trajectory longer than seq_len+1={seq_len + 1} in the pool"
-            )
-        weights = slack[eligible].astype(float)
-        probs = weights / weights.sum()
-        idx = eligible[rng.choice(eligible.size, size=batch_size, p=probs)]
-        starts = offsets[idx] + rng.integers(0, slack[idx])
+        idx, local_starts = draw_window_starts(lengths, seq_len, batch_size, rng)
+        starts = offsets[idx] + local_starts
         rows = starts[:, None] + np.arange(seq_len + 1)
         s = big_s[rows]  # (B, L + 1, D)
         if normalize is not None:
@@ -157,6 +227,16 @@ class PolicyPool:
             "next_states": s[:, 1:],
         }
 
+    def drop_cache(self) -> None:
+        """Release the concatenated-array cache.
+
+        The cache holds a second full copy of every trajectory, so a pool
+        that has been sampled keeps double its resident footprint until
+        this is called. Training entry points call it once the epochs are
+        done; the next :meth:`sample_sequences` rebuilds it transparently.
+        """
+        self._concat = None
+
     # ------------------------------------------------------------------
     def save(self, path) -> None:
         """Persist the pool as one compressed ``.npz``."""
@@ -166,32 +246,58 @@ class PolicyPool:
         }
         meta = []
         for i, t in enumerate(self.trajectories):
+            if t.length == 0:
+                raise ValueError(
+                    f"refusing to save zero-length trajectory "
+                    f"{t.scheme!r} on {t.env_id!r} (index {i})"
+                )
             payload[f"s{i}"] = t.states
             payload[f"a{i}"] = t.actions
             payload[f"r{i}"] = t.rewards
-            meta.append(f"{t.scheme}|{t.env_id}|{int(t.multi_flow)}")
+            meta.append(
+                f"{_escape_meta(t.scheme)}|{_escape_meta(t.env_id)}"
+                f"|{int(t.multi_flow)}"
+            )
         payload["meta"] = np.array(meta)
         path.parent.mkdir(parents=True, exist_ok=True)
         np.savez_compressed(path, **payload)
 
     @classmethod
     def load(cls, path) -> "PolicyPool":
-        with np.load(Path(path), allow_pickle=False) as data:
-            n = int(data["n"][0])
-            meta = [str(m) for m in data["meta"]]
-            trajectories = []
-            for i in range(n):
-                scheme, env_id, multi = meta[i].split("|")
-                trajectories.append(
-                    Trajectory(
-                        scheme=scheme,
-                        env_id=env_id,
-                        multi_flow=bool(int(multi)),
-                        states=data[f"s{i}"],
-                        actions=data[f"a{i}"],
-                        rewards=data[f"r{i}"],
+        path = Path(path)
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt or truncated pool file {path}: {exc}"
+            ) from exc
+        with data:
+            try:
+                n = int(data["n"][0])
+                meta = [str(m) for m in data["meta"]]
+                trajectories = []
+                for i in range(n):
+                    scheme, env_id, multi = parse_meta(meta[i])
+                    trajectories.append(
+                        Trajectory(
+                            scheme=scheme,
+                            env_id=env_id,
+                            multi_flow=multi,
+                            states=data[f"s{i}"],
+                            actions=data[f"a{i}"],
+                            rewards=data[f"r{i}"],
+                        )
                     )
-                )
+            except (KeyError, IndexError) as exc:
+                raise ValueError(
+                    f"corrupt pool file {path}: missing entry {exc}"
+                ) from exc
+            except (zipfile.BadZipFile, zlib.error, OSError) as exc:
+                # a truncated archive can pass np.load's header check and
+                # only fail once a member is decompressed
+                raise ValueError(
+                    f"corrupt or truncated pool file {path}: {exc}"
+                ) from exc
         return cls(trajectories)
 
     # ------------------------------------------------------------------

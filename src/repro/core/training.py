@@ -12,7 +12,7 @@ Three phases, mirroring Fig. 3:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -23,6 +23,12 @@ from repro.core.agent import SageAgent
 from repro.core.crr import CRRConfig, CRRTrainer
 from repro.core.networks import NetworkConfig
 from repro.tcp.cc_base import POOL_SCHEMES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datastore.reader import ShardedPool
+
+#: both pool flavors expose the same sampling API (see repro.datastore)
+AnyPool = Union[PolicyPool, "ShardedPool"]
 
 
 @dataclass
@@ -54,18 +60,42 @@ def collect_pool(
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
     chunksize: Optional[int] = None,
-) -> PolicyPool:
+    store=None,
+    shard_bytes: Optional[int] = None,
+) -> AnyPool:
     """Phase 1: build the pool of policies (collection happens once).
 
     ``workers`` fans the ``(env, scheme)`` rollouts across processes via
     :mod:`repro.collector.parallel`; the resulting pool is bit-identical to
     the serial one (``workers=1``, the default) for the same environments
     and schemes. ``workers=None`` uses one process per CPU.
+
+    With ``store`` set (a directory path), rollouts are streamed straight
+    into a sharded on-disk store instead of accumulating in memory, and the
+    returned pool is an out-of-core
+    :class:`~repro.datastore.reader.ShardedPool` over it — same sampling
+    API, same bits for the same seed. ``shard_bytes`` tunes the per-shard
+    byte budget.
     """
-    from repro.collector.parallel import collect_pool_parallel
+    from repro.collector.parallel import collect_pool_parallel, collect_pool_to_store
 
     envs = list(environments) if environments is not None else training_environments("mini")
     schemes = list(schemes) if schemes is not None else list(POOL_SCHEMES)
+    progress_cb = (
+        None if progress is None else (lambda ev: progress(f"collected {ev.label}"))
+    )
+    if store is not None:
+        return collect_pool_to_store(
+            envs,
+            schemes,
+            store,
+            windows=windows,
+            tick=tick,
+            workers=workers,
+            chunksize=chunksize,
+            progress=progress_cb,
+            shard_bytes=shard_bytes,
+        )
     return collect_pool_parallel(
         envs,
         schemes,
@@ -73,16 +103,12 @@ def collect_pool(
         tick=tick,
         workers=workers,
         chunksize=chunksize,
-        progress=(
-            None
-            if progress is None
-            else (lambda ev: progress(f"collected {ev.label}"))
-        ),
+        progress=progress_cb,
     )
 
 
 def train_sage_on_pool(
-    pool: PolicyPool,
+    pool: AnyPool,
     n_steps: int = 300,
     n_checkpoints: int = 7,
     net_config: Optional[NetworkConfig] = None,
@@ -136,6 +162,11 @@ def train_sage_on_pool(
         trainer.train(per_ckpt, log_every=log_every)
         run.checkpoints.append(trainer.policy.state_dict())
         run.checkpoint_steps.append(trainer.steps_done)
+    # the epochs are done: release the pool's concat cache (a second full
+    # copy of every trajectory for an in-memory pool, open shard handles
+    # for a sharded one) rather than pinning it for the process lifetime
+    if hasattr(pool, "drop_cache"):
+        pool.drop_cache()
     return run
 
 

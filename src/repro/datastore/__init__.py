@@ -1,0 +1,54 @@
+"""repro.datastore — the data plane: a sharded, mmap-backed trajectory store.
+
+Sage's offline pool *is* the system: >1000 environments x 13 schemes of
+``{state, action, reward}`` trajectories, collected once and then sampled
+for every training run. The monolithic ``PolicyPool`` ``.npz`` must fit in
+RAM twice over (arrays + concat cache); this package is the out-of-core
+replacement:
+
+- :class:`ShardWriter` (``writer``) — append-only streaming ingest with a
+  fixed shard-size budget, per-file CRC32 checksums, and atomic
+  tmp-then-rename commits;
+- :class:`Manifest` / :func:`verify_store` (``manifest``) — the JSON index
+  of every trajectory and shard, with integrity audit and corrupt-shard
+  quarantine;
+- :class:`ShardedPool` (``reader``) — the ``PolicyPool`` sampling API over
+  ``np.load(mmap_mode="r")`` shards with a bounded hot-shard LRU;
+  bit-identical draws for the same seed;
+- ``convert`` — ``pool pack / merge / verify / stats`` plumbing, including
+  :func:`open_pool`, which opens either pool flavor by path.
+"""
+
+from repro.datastore.convert import (
+    merge_stores,
+    open_pool,
+    pack_pool,
+    store_stats,
+    verify,
+)
+from repro.datastore.manifest import (
+    Manifest,
+    ShardRecord,
+    TrajectoryRecord,
+    VerifyReport,
+    verify_store,
+)
+from repro.datastore.reader import ShardCache, ShardedPool
+from repro.datastore.writer import DEFAULT_SHARD_BYTES, ShardWriter
+
+__all__ = [
+    "DEFAULT_SHARD_BYTES",
+    "Manifest",
+    "ShardCache",
+    "ShardRecord",
+    "ShardWriter",
+    "ShardedPool",
+    "TrajectoryRecord",
+    "VerifyReport",
+    "merge_stores",
+    "open_pool",
+    "pack_pool",
+    "store_stats",
+    "verify",
+    "verify_store",
+]

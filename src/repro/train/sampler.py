@@ -29,13 +29,18 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.collector.parallel import derive_seed
-from repro.collector.pool import PolicyPool
+from repro.collector.pool import PolicyPool  # noqa: F401 - re-exported for docs
 
 __all__ = ["SequenceSampler"]
 
 
 class SequenceSampler:
-    """Hands out ``(B, L)`` sequence batches from a :class:`PolicyPool`.
+    """Hands out ``(B, L)`` sequence batches from a pool.
+
+    ``pool`` is anything exposing the ``sample_sequences`` contract — an
+    in-memory :class:`PolicyPool` or an out-of-core
+    :class:`~repro.datastore.reader.ShardedPool`; both draw the same RNG
+    stream, so the determinism contract below holds for either.
 
     Parameters
     ----------
@@ -56,7 +61,7 @@ class SequenceSampler:
 
     def __init__(
         self,
-        pool: PolicyPool,
+        pool,  # PolicyPool or datastore.ShardedPool (duck-typed)
         batch_size: int,
         seq_len: int,
         rng: Optional[np.random.Generator] = None,

@@ -24,6 +24,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["deploy"])
 
+    def test_collect_store_defaults(self):
+        args = build_parser().parse_args(["collect", "--store", "shards/"])
+        assert args.store == "shards/"
+        assert args.shard_mb == 32
+
+    def test_pool_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pool"])
+
+    def test_pool_pack_args(self):
+        args = build_parser().parse_args(["pool", "pack", "p.npz", "st/"])
+        assert args.source == "p.npz" and args.out == "st/"
+
+    def test_pool_verify_flags(self):
+        args = build_parser().parse_args(
+            ["pool", "verify", "st/", "--strict", "--no-quarantine"]
+        )
+        assert args.strict and args.no_quarantine
+
 
 class TestEndToEnd:
     def test_collect_train_deploy(self, tmp_path, capsys):

@@ -180,6 +180,28 @@ class TestPolicyPool:
         text = pool.summary()
         assert "s0" in text and "s1" in text
 
+    def test_save_load_env_id_with_pipes(self, tmp_path):
+        """Regression: '|' in env_id used to shear the meta encoding."""
+        pool = random_pool(np.random.default_rng(8), n_traj=2)
+        pool.trajectories[0].env_id = "step|24mbps|codel"
+        pool.trajectories[1].env_id = "trailing\\"
+        pool.save(tmp_path / "pool.npz")
+        loaded = PolicyPool.load(tmp_path / "pool.npz")
+        assert loaded.trajectories[0].env_id == "step|24mbps|codel"
+        assert loaded.trajectories[1].env_id == "trailing\\"
+        assert loaded.trajectories[0].multi_flow == pool.trajectories[0].multi_flow
+
+    def test_drop_cache_releases_concat(self):
+        rng = np.random.default_rng(9)
+        pool = random_pool(rng)
+        pool.sample_sequences(4, 5, rng)
+        assert pool._concat is not None
+        pool.drop_cache()
+        assert pool._concat is None
+        # sampling transparently rebuilds the cache
+        batch = pool.sample_sequences(4, 5, rng)
+        assert batch["states"].shape == (4, 5, STATE_DIM)
+
     @given(batch=st.integers(1, 16), seq=st.integers(1, 10))
     @settings(max_examples=10, deadline=None)
     def test_sampling_never_exceeds_bounds(self, batch, seq):
