@@ -1,0 +1,28 @@
+"""repro.chaos — deterministic, seed-driven fault injection.
+
+The resilience layer's proof obligation: every defense the pipeline claims
+(collector re-dispatch and watchdog, datastore quarantine + repair,
+training divergence rollback, serving heuristic fallback) is exercised by
+replaying a :class:`FaultPlan` — a seeded, serializable fault schedule —
+through a :class:`FaultInjector` threaded into each subsystem's ``chaos``
+hook. Same seed, same faults, every run.
+"""
+
+from repro.chaos.inject import FaultInjector, FiredFault
+from repro.chaos.plan import (
+    DEFAULT_PARAMS,
+    DEFAULT_UNIVERSES,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "DEFAULT_UNIVERSES",
+    "SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FiredFault",
+]

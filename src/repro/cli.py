@@ -8,6 +8,11 @@ Usage::
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
     python -m repro serve-bench --flows 64
     python -m repro train-bench --pool pool.npz
+    python -m repro pipeline run --workdir run/ [--fault-plan plan.json]
+    python -m repro pipeline resume --workdir run/
+    python -m repro pipeline status --workdir run/
+    python -m repro chaos plan --seed 7 --faults collector.crash,train.nan \
+        --out plan.json
     python -m repro pool pack pool.npz shards/     # legacy .npz -> shards
     python -m repro pool merge w0/ w1/ -o shards/  # per-worker dirs -> one
     python -m repro pool verify shards/            # audit + quarantine
@@ -39,6 +44,7 @@ def _cmd_collect(args) -> int:
         workers=args.workers,
         store=store,
         shard_bytes=args.shard_mb * (1 << 20) if store else None,
+        max_task_seconds=args.task_timeout,
     )
     print(pool.summary())
     if store:
@@ -201,6 +207,87 @@ def _cmd_pool_stats(args) -> int:
     return 0
 
 
+def _pipeline_config(args):
+    from repro.pipeline import PipelineConfig
+
+    return PipelineConfig(
+        workdir=args.workdir,
+        scale=args.scale,
+        schemes=tuple(args.schemes.split(",")) if args.schemes else None,
+        workers=args.workers,
+        base_seed=args.seed,
+        max_task_seconds=args.task_timeout,
+        n_steps=args.steps,
+        train_seed=args.seed,
+        eval_duration=args.eval_duration,
+        fault_plan=args.fault_plan or None,
+    )
+
+
+def _cmd_pipeline_run(args) -> int:
+    from repro.pipeline import PipelineConfig, PipelineError, build_supervisor
+    from repro.pipeline.state import PipelineState
+
+    if args.resume:
+        # rebuild the exact original run from the persisted journal
+        cfg = PipelineConfig.from_json(
+            PipelineState.load(
+                PipelineConfig(workdir=args.workdir).state_path
+            ).config
+        )
+    else:
+        cfg = _pipeline_config(args)
+    supervisor = build_supervisor(cfg)
+    try:
+        state = supervisor.run(resume=args.resume, config=cfg.to_json())
+    except PipelineError as exc:
+        print(f"pipeline failed: {exc}", file=sys.stderr)
+        print(f"state journal: {cfg.state_path}", file=sys.stderr)
+        return 1
+    print(state.format_status())
+    return 0
+
+
+def _cmd_pipeline_status(args) -> int:
+    from repro.pipeline import PipelineConfig
+    from repro.pipeline.state import PipelineState
+
+    state_path = PipelineConfig(workdir=args.workdir).state_path
+    try:
+        state = PipelineState.load(state_path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"no readable pipeline state at {state_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(state.format_status())
+    return 0
+
+
+def _cmd_chaos_plan(args) -> int:
+    from repro.chaos import SITES, FaultPlan
+
+    counts = {}
+    for entry in (args.faults.split(",") if args.faults else sorted(SITES)):
+        site, _, n = entry.partition("=")
+        if site not in SITES:
+            print(f"unknown fault site {site!r}; "
+                  f"valid: {', '.join(sorted(SITES))}", file=sys.stderr)
+            return 1
+        counts[site] = counts.get(site, 0) + (int(n) if n else 1)
+    universes = {}
+    for entry in args.universes.split(",") if args.universes else ():
+        group, _, n = entry.partition("=")
+        universes[group] = int(n)
+    plan = FaultPlan.generate(
+        seed=args.seed, counts=counts, universes=universes or None
+    )
+    print(plan.describe())
+    if args.out:
+        plan.save(args.out)
+        print(f"saved plan to {args.out}")
+    return 0
+
+
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
     import os
 
@@ -232,6 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of a monolithic .npz (overrides --out)")
     p.add_argument("--shard-mb", type=int, default=32, dest="shard_mb",
                    help="per-shard byte budget for --store, in MiB")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   dest="task_timeout", metavar="SECONDS",
+                   help="per-rollout watchdog deadline; hung workers are "
+                        "terminated and their tasks re-dispatched")
     p.add_argument("--verbose", action="store_true")
     _add_workers_arg(p)
     p.set_defaults(func=_cmd_collect)
@@ -334,6 +425,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("store", help="store directory")
     q.set_defaults(func=_cmd_pool_stats)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="supervised, resumable collect -> verify -> train -> eval run",
+    )
+    pipe_sub = p.add_subparsers(dest="pipeline_command", required=True)
+
+    q = pipe_sub.add_parser("run", help="start a fresh pipeline run")
+    q.add_argument("--workdir", required=True,
+                   help="run directory (store, checkpoint, state journal)")
+    q.add_argument("--scale", choices=("mini", "small", "full"),
+                   default="mini")
+    q.add_argument("--schemes", default="cubic",
+                   help="comma-separated subset ('' = all pool schemes)")
+    q.add_argument("--workers", type=int, default=1)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--steps", type=int, default=12,
+                   help="training steps")
+    q.add_argument("--task-timeout", type=float, default=None,
+                   dest="task_timeout", metavar="SECONDS",
+                   help="per-rollout watchdog deadline during collection")
+    q.add_argument("--eval-duration", type=float, default=3.0,
+                   dest="eval_duration",
+                   help="seconds of served-policy evaluation rollout")
+    q.add_argument("--fault-plan", default="", dest="fault_plan",
+                   help="FaultPlan JSON to inject (chaos mode)")
+    q.set_defaults(func=_cmd_pipeline_run, resume=False)
+
+    q = pipe_sub.add_parser(
+        "resume",
+        help="continue an interrupted run from its state journal",
+    )
+    q.add_argument("--workdir", required=True)
+    q.set_defaults(func=_cmd_pipeline_run, resume=True)
+
+    q = pipe_sub.add_parser(
+        "status", help="show stage states and the fault/recovery log"
+    )
+    q.add_argument("--workdir", required=True)
+    q.set_defaults(func=_cmd_pipeline_status)
+
+    p = sub.add_parser(
+        "chaos", help="deterministic fault-injection plans"
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    q = chaos_sub.add_parser(
+        "plan", help="generate (and optionally save) a seeded FaultPlan"
+    )
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--faults", default="",
+                   help="comma-separated sites, each optionally site=count "
+                        "(default: one fault at every site)")
+    q.add_argument("--universes", default="",
+                   help="comma-separated group=N target-universe overrides, "
+                        "e.g. collector=8,train=12")
+    q.add_argument("--out", default="", help="write the plan JSON here")
+    q.set_defaults(func=_cmd_chaos_plan)
 
     p = sub.add_parser(
         "serve-bench",

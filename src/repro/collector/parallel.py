@@ -27,20 +27,48 @@ Tasks additionally carry a seed derived only from ``(base_seed, index)``
 
 Crash recovery
 --------------
-A failed task — whether its function raised or its worker process died —
-is retried once in a fresh round and then *reported*, never silently
-dropped: the result slot stays ``None`` and the failure (with its error
-text) is listed in ``CollectionReport.failures``. Pool builders treat any
-failure as an error by default (``strict=True``).
+A failed task — whether its function raised, its worker process died, or
+the watchdog declared it hung — is re-dispatched in later rounds (fresh
+executor each round, exponential backoff between rounds) and then
+*reported*, never silently dropped: the result slot stays ``None`` and the
+failure (with its error text and kind) is listed in
+``CollectionReport.failures`` — the poison-task quarantine. Pool builders
+treat any failure as an error by default (``strict=True``).
+
+Hang detection
+--------------
+``max_task_seconds`` arms a watchdog: each dispatched chunk gets a
+deadline, and when every still-running chunk is past its deadline the
+round is abandoned — the executor's worker processes are terminated (a
+wedged child no longer blocks collection forever) and the overdue tasks
+re-dispatched next round. The timeout needs real worker processes;
+the in-process ``workers=1`` path cannot preempt a wedged task function.
+
+Determinism under retry
+-----------------------
+Before running any task that carries a ``seed`` attribute, the chunk
+runner reseeds numpy's *global* generator from it. Task functions that
+draw global randomness are therefore a pure function of their task, not
+of chunk composition or dispatch round — a re-dispatched task reproduces
+its first attempt bit-for-bit.
+
+Fault injection
+---------------
+``chaos`` accepts a :class:`~repro.chaos.inject.FaultInjector`; its
+pending ``collector.crash`` / ``collector.hang`` faults are armed for the
+first dispatch round only (picklable target sets consulted by the chunk
+runner), so every injected fault is recoverable by the retry machinery.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.collector.environments import EnvConfig
 from repro.collector.gr_unit import WindowConfig
@@ -91,12 +119,15 @@ class RolloutTask:
 
 @dataclass
 class TaskFailure:
-    """A task that failed its initial attempt and its retry."""
+    """A task that failed every dispatch round (quarantined as poison)."""
 
     index: int
     label: str
     error: str
     attempts: int
+    #: "error" (task function raised), "crash" (worker process died), or
+    #: "timeout" (watchdog declared the task hung)
+    kind: str = "error"
 
 
 @dataclass
@@ -120,7 +151,14 @@ class CollectionReport:
     chunksize: int
     elapsed: float = 0.0
     n_retried: int = 0
+    #: worker-death events observed (each may cover a whole chunk)
+    n_crashes: int = 0
+    #: watchdog timeouts observed (each may cover a whole chunk)
+    n_timeouts: int = 0
     failures: List[TaskFailure] = field(default_factory=list)
+    #: fault/recovery log: ``{"kind", "detail", "action"}`` per event —
+    #: what went wrong and what the engine did about it
+    events: List[Dict[str, str]] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -195,15 +233,44 @@ def _run_rollout_task(task: RolloutTask):
     )
 
 
-def _run_chunk(fn: Callable, chunk: List[Tuple[int, Any]]) -> List[Tuple[int, bool, Any]]:
+def _reseed_for(task: Any) -> None:
+    """Pin numpy's global generator to the task's own seed, if it has one.
+
+    Makes any global-randomness-consuming task function a pure function of
+    its task — independent of chunk composition, worker identity, and
+    dispatch round — so a re-dispatched task reproduces its first attempt.
+    """
+    seed = getattr(task, "seed", None)
+    if seed is not None:
+        np.random.seed(int(seed) & 0xFFFFFFFF)
+
+
+def _run_chunk(
+    fn: Callable,
+    chunk: List[Tuple[int, Any]],
+    chaos: Optional[Dict] = None,
+) -> List[Tuple[int, bool, Any]]:
     """Run a chunk of tasks in one worker; capture per-task exceptions.
 
     Returns ``(index, ok, payload)`` triples, where ``payload`` is the task
     result on success and the error string on failure — one bad task must
     not take its chunk-mates down with it.
+
+    ``chaos`` (first dispatch round only) is armed fault data from a
+    :class:`~repro.chaos.inject.FaultInjector`: tasks in ``chaos["crash"]``
+    kill this worker process outright; tasks in ``chaos["hang"]`` stall for
+    the scheduled seconds before running (long enough to trip the
+    watchdog).
     """
+    crash = chaos.get("crash", ()) if chaos else ()
+    hang = chaos.get("hang", {}) if chaos else {}
     out: List[Tuple[int, bool, Any]] = []
     for index, task in chunk:
+        _reseed_for(task)
+        if index in crash:
+            os._exit(3)  # injected fault: die like a real worker crash
+        if index in hang:
+            time.sleep(float(hang[index]))  # injected fault: wedge the task
         try:
             out.append((index, True, fn(task)))
         except BaseException as exc:  # noqa: BLE001 - reported, never dropped
@@ -211,6 +278,20 @@ def _run_chunk(fn: Callable, chunk: List[Tuple[int, Any]]) -> List[Tuple[int, bo
                 raise
             out.append((index, False, f"{type(exc).__name__}: {exc}"))
     return out
+
+
+def _terminate_workers(executor: ProcessPoolExecutor) -> None:
+    """Kill a broken/abandoned executor's worker processes.
+
+    Without this a wedged child would survive ``shutdown(wait=False)`` and
+    block interpreter exit (concurrent.futures joins workers at exit).
+    """
+    procs = getattr(executor, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):  # already dead / exotic platform
+            pass
 
 
 # --------------------------------------------------------------------------
@@ -230,6 +311,10 @@ def run_tasks(
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     consume: Optional[Callable[[int, Any], None]] = None,
+    max_task_seconds: Optional[float] = None,
+    max_rounds: int = 2,
+    retry_backoff_s: float = 0.0,
+    chaos=None,
 ) -> Tuple[List[Any], CollectionReport]:
     """Run ``fn`` over every task, fanning across worker processes.
 
@@ -252,17 +337,35 @@ def run_tasks(
         stays ``None`` for consumed tasks, so a large run never accumulates
         in driver memory. Completion order is arbitrary; wrap the hook in
         :class:`OrderedConsumer` when the sink needs task order.
+    max_task_seconds:
+        Watchdog budget per task: a dispatched chunk's deadline is this
+        times its task count (scaled for dispatch queueing). When every
+        still-running chunk is overdue the round is abandoned, its worker
+        processes are terminated, and the overdue tasks are re-dispatched.
+        ``None`` disables the watchdog. Needs real worker processes — the
+        in-process ``workers=1`` path cannot preempt a wedged function.
+    max_rounds:
+        Dispatch rounds per task before it is quarantined as poison and
+        listed in ``report.failures``. Round 1 uses ``chunksize``; retry
+        rounds dispatch one task per chunk in a fresh executor.
+    retry_backoff_s:
+        Base of the exponential backoff slept before each retry round
+        (``retry_backoff_s * 2**(round - 1)`` seconds).
+    chaos:
+        Optional :class:`~repro.chaos.inject.FaultInjector`; pending
+        ``collector.*`` faults are armed for the first dispatch round.
 
     Returns
     -------
     ``(results, report)`` — ``results[i]`` is ``fn(tasks[i])``, or ``None``
-    if the task failed twice (see ``report.failures``) or was handed to
-    ``consume``.
+    if the task failed every round (see ``report.failures``) or was handed
+    to ``consume``.
     """
     n = len(tasks)
     workers = default_workers() if workers is None else max(int(workers), 1)
     workers = min(workers, n) if n else 1
     chunksize = _auto_chunksize(n, workers) if chunksize is None else max(chunksize, 1)
+    max_rounds = max(int(max_rounds), 1)
     report = CollectionReport(total=n, workers=workers, chunksize=chunksize)
     results: List[Any] = [None] * n
     started = time.perf_counter()
@@ -285,16 +388,48 @@ def run_tasks(
                 )
             )
 
+    def _label(index: int) -> str:
+        return getattr(tasks[index], "label", f"task {index}")
+
     if n == 0:
         return results, report
 
+    armed = chaos.collector_faults() if chaos is not None else None
+
     if workers == 1:
         # In-process serial path: identical to the historical nested loop,
-        # with the same retry-once-then-report contract as the pool path.
+        # with the same retry-then-quarantine contract as the pool path.
+        # Injected crashes are simulated as raises (killing the driver
+        # process would defeat the point); injected hangs are skipped — no
+        # watchdog can preempt a wedged in-process function.
+        armed_crash = set(armed.get("crash", ())) if armed else set()
+        for hi in sorted(armed.get("hang", {})) if armed else ():
+            report.events.append(
+                {
+                    "kind": "hang",
+                    "detail": f"injected hang for {_label(hi)} cannot fire "
+                              "in-process (workers=1 has no watchdog)",
+                    "action": "skipped",
+                }
+            )
         for i, task in enumerate(tasks):
             attempt_errors: List[str] = []
-            for _attempt in range(2):
+            for attempt in range(max_rounds):
+                if attempt > 0 and retry_backoff_s > 0:
+                    time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
                 try:
+                    _reseed_for(task)
+                    if attempt == 0 and i in armed_crash:
+                        report.n_crashes += 1
+                        report.events.append(
+                            {
+                                "kind": "crash",
+                                "detail": f"injected crash for {_label(i)} "
+                                          "(simulated in-process)",
+                                "action": "retrying",
+                            }
+                        )
+                        raise RuntimeError("injected worker crash")
                     outcome = fn(task)
                     break
                 except BaseException as exc:  # noqa: BLE001
@@ -305,9 +440,11 @@ def run_tasks(
                 report.failures.append(
                     TaskFailure(
                         index=i,
-                        label=getattr(task, "label", f"task {i}"),
+                        label=_label(i),
                         error=attempt_errors[-1],
-                        attempts=2,
+                        attempts=max_rounds,
+                        kind="crash" if i in armed_crash and max_rounds == 1
+                        else "error",
                     )
                 )
                 continue
@@ -320,73 +457,171 @@ def run_tasks(
             if attempt_errors:
                 report.n_retried += 1
             _emit(i, retried=bool(attempt_errors))
+        for f in report.failures:
+            report.events.append(
+                {
+                    "kind": f.kind,
+                    "detail": f"{f.label}: {f.error}",
+                    "action": f"quarantined after {f.attempts} attempt(s)",
+                }
+            )
         report.elapsed = time.perf_counter() - started
         return results, report
 
-    # Round 1: chunked fan-out. Round 2: failed tasks, one per chunk, in a
-    # fresh executor (a crashed worker poisons its whole executor).
+    # Round 1: chunked fan-out, chaos armed. Retry rounds: failed tasks,
+    # one per chunk, in a fresh executor (a crashed worker poisons its
+    # whole executor) after exponential backoff — and always clean.
     pending: List[Tuple[int, Any]] = list(enumerate(tasks))
-    last_error: dict = {}
-    for round_no in range(2):
+    last_error: Dict[int, Tuple[str, str]] = {}  # index -> (kind, message)
+    for round_no in range(max_rounds):
         if not pending:
             break
+        if round_no > 0 and retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * (2 ** (round_no - 1)))
         size = chunksize if round_no == 0 else 1
         chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
         retry_next: List[Tuple[int, Any]] = []
-        executor = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        round_armed = armed if round_no == 0 else None
+        n_exec = min(workers, len(chunks))
+        executor = ProcessPoolExecutor(max_workers=n_exec)
+        round_start = time.perf_counter()
+        last_round = round_no + 1 >= max_rounds
+        crashed_chunks: List[List[Tuple[int, Any]]] = []
+        abandoned = False
         try:
             futures = {}
-            for chunk in chunks:
+            deadlines: Dict[Any, float] = {}
+            for pos, chunk in enumerate(chunks):
                 try:
-                    futures[executor.submit(_run_chunk, fn, chunk)] = chunk
+                    fut = executor.submit(_run_chunk, fn, chunk, round_armed)
                 except BaseException as exc:  # pool broke during submission
                     if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                         raise
                     for index, task in chunk:
                         last_error[index] = (
-                            f"worker pool broken ({type(exc).__name__}: {exc})"
-                        )
-                        retry_next.append((index, task))
-            for fut in as_completed(futures):
-                chunk = futures[fut]
-                try:
-                    triples = fut.result()
-                except BaseException as exc:  # worker process died
-                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                        raise
-                    for index, task in chunk:
-                        last_error[index] = (
-                            f"worker process crashed ({type(exc).__name__}: {exc})"
+                            "crash",
+                            f"worker pool broken ({type(exc).__name__}: {exc})",
                         )
                         retry_next.append((index, task))
                     continue
-                for index, ok, payload in triples:
-                    if ok:
-                        if consume is not None:
-                            consume(index, payload)
+                futures[fut] = chunk
+                if max_task_seconds is not None:
+                    # chunks queue behind the first `n_exec` waves, so later
+                    # positions get proportionally later deadlines
+                    wave = 1 + pos // n_exec
+                    deadlines[fut] = (
+                        round_start + max_task_seconds * len(chunk) * wave
+                    )
+            not_done = set(futures)
+            while not_done:
+                poll = 0.05 if max_task_seconds is not None else None
+                finished, not_done = wait(not_done, timeout=poll)
+                for fut in finished:
+                    chunk = futures[fut]
+                    try:
+                        triples = fut.result()
+                    except BaseException as exc:  # worker process died
+                        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                            raise
+                        crashed_chunks.append(chunk)
+                        for index, task in chunk:
+                            last_error[index] = (
+                                "crash",
+                                "worker process crashed "
+                                f"({type(exc).__name__}: {exc})",
+                            )
+                            retry_next.append((index, task))
+                        continue
+                    for index, ok, payload in triples:
+                        if ok:
+                            if consume is not None:
+                                consume(index, payload)
+                            else:
+                                results[index] = payload
+                            retried = round_no > 0
+                            if retried:
+                                report.n_retried += 1
+                            _emit(index, retried=retried)
                         else:
-                            results[index] = payload
-                        retried = round_no > 0
-                        if retried:
-                            report.n_retried += 1
-                        _emit(index, retried=retried)
-                    else:
-                        last_error[index] = payload
-                        retry_next.append((index, tasks[index]))
+                            last_error[index] = ("error", payload)
+                            retry_next.append((index, tasks[index]))
+                if not not_done or max_task_seconds is None:
+                    continue
+                now = time.perf_counter()
+                overdue = {
+                    f for f in not_done
+                    if now >= deadlines.get(f, float("inf"))
+                }
+                if overdue and overdue == not_done:
+                    # every still-running chunk is past its deadline: the
+                    # pool is wedged — abandon the round and re-dispatch
+                    abandoned = True
+                    for fut in overdue:
+                        chunk = futures[fut]
+                        report.n_timeouts += 1
+                        labels = ", ".join(_label(i) for i, _ in chunk)
+                        report.events.append(
+                            {
+                                "kind": "timeout",
+                                "detail": f"watchdog: [{labels}] exceeded "
+                                          f"{max_task_seconds:g}s per task",
+                                "action": "quarantined" if last_round
+                                else "terminating workers, re-dispatching",
+                            }
+                        )
+                        for index, task in chunk:
+                            last_error[index] = (
+                                "timeout",
+                                "watchdog timeout: task still running after "
+                                f"max_task_seconds={max_task_seconds:g}",
+                            )
+                            retry_next.append((index, task))
+                    break
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
-        pending = retry_next
+            if abandoned:
+                _terminate_workers(executor)
+        if crashed_chunks:
+            report.n_crashes += 1
+            labels = ", ".join(
+                _label(i) for chunk in crashed_chunks for i, _ in chunk
+            )
+            report.events.append(
+                {
+                    "kind": "crash",
+                    "detail": "worker death broke dispatch round "
+                              f"{round_no + 1}; affected: [{labels}]",
+                    "action": "quarantined" if last_round
+                    else "re-dispatching in a fresh pool",
+                }
+            )
+        # de-duplicate by index (a chunk can be both crashed and resubmitted)
+        seen: set = set()
+        pending = [
+            p for p in sorted(retry_next, key=lambda p: p[0])
+            if p[0] not in seen and not seen.add(p[0])
+        ]
 
-    for index, task in pending:  # failed the initial attempt and the retry
+    for index, task in pending:  # failed every dispatch round
+        kind, message = last_error.get(index, ("error", "unknown error"))
         report.failures.append(
             TaskFailure(
                 index=index,
-                label=getattr(task, "label", f"task {index}"),
-                error=last_error.get(index, "unknown error"),
-                attempts=2,
+                label=_label(index),
+                error=message,
+                attempts=max_rounds,
+                kind=kind,
             )
         )
     report.failures.sort(key=lambda f: f.index)
+    for f in report.failures:
+        report.events.append(
+            {
+                "kind": f.kind,
+                "detail": f"{f.label}: {f.error}",
+                "action": f"quarantined after {f.attempts} round(s)",
+            }
+        )
     report.elapsed = time.perf_counter() - started
     return results, report
 
@@ -429,11 +664,17 @@ def collect_rollouts(
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     strict: bool = True,
+    max_task_seconds: Optional[float] = None,
+    max_rounds: int = 2,
+    retry_backoff_s: float = 0.0,
+    chaos=None,
 ) -> Tuple[List[Any], CollectionReport]:
     """Run rollout tasks; with ``strict`` any permanent failure raises."""
     results, report = run_tasks(
         tasks, fn=_run_rollout_task, workers=workers,
         chunksize=chunksize, progress=progress,
+        max_task_seconds=max_task_seconds, max_rounds=max_rounds,
+        retry_backoff_s=retry_backoff_s, chaos=chaos,
     )
     if strict and report.failures:
         try:
@@ -453,21 +694,32 @@ def collect_pool_parallel(
     progress: Optional[Callable[[ProgressEvent], None]] = None,
     base_seed: int = 0,
     strict: bool = True,
+    max_task_seconds: Optional[float] = None,
+    max_rounds: int = 2,
+    retry_backoff_s: float = 0.0,
+    chaos=None,
+    report_sink: Optional[Callable[[CollectionReport], None]] = None,
 ) -> PolicyPool:
     """Build the pool of policies across workers.
 
     The returned pool is bit-identical to the serial
     ``for env: for scheme: collect_trajectory`` loop for the same inputs,
     whatever ``workers`` is — rollouts are deterministic given their
-    :class:`EnvConfig` and results are assembled in task order.
+    :class:`EnvConfig` and results are assembled in task order. That holds
+    under injected faults too: crashed/hung tasks are re-dispatched with
+    the same seeds and land in the same slots.
     """
     tasks = make_rollout_tasks(
         environments, schemes, windows=windows, tick=tick, base_seed=base_seed
     )
-    results, _report = collect_rollouts(
+    results, report = collect_rollouts(
         tasks, workers=workers, chunksize=chunksize,
         progress=progress, strict=strict,
+        max_task_seconds=max_task_seconds, max_rounds=max_rounds,
+        retry_backoff_s=retry_backoff_s, chaos=chaos,
     )
+    if report_sink is not None:
+        report_sink(report)
     pool = PolicyPool()
     for rollout in results:
         if rollout is not None:
@@ -487,6 +739,11 @@ def collect_pool_to_store(
     base_seed: int = 0,
     strict: bool = True,
     shard_bytes: Optional[int] = None,
+    max_task_seconds: Optional[float] = None,
+    max_rounds: int = 2,
+    retry_backoff_s: float = 0.0,
+    chaos=None,
+    report_sink: Optional[Callable[[CollectionReport], None]] = None,
 ):
     """Stream the pool of policies straight into a sharded store.
 
@@ -515,6 +772,7 @@ def collect_pool_to_store(
         writer = ShardWriter(
             store,
             shard_bytes=DEFAULT_SHARD_BYTES if shard_bytes is None else shard_bytes,
+            chaos=chaos,
         )
         owns_writer = True
     consumer = OrderedConsumer(writer.add_rollout)
@@ -522,7 +780,11 @@ def collect_pool_to_store(
         _results, report = run_tasks(
             tasks, fn=_run_rollout_task, workers=workers,
             chunksize=chunksize, progress=progress, consume=consumer,
+            max_task_seconds=max_task_seconds, max_rounds=max_rounds,
+            retry_backoff_s=retry_backoff_s, chaos=chaos,
         )
+        if report_sink is not None:
+            report_sink(report)
         if strict and report.failures:
             try:
                 report.raise_on_failure()

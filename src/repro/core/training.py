@@ -62,6 +62,11 @@ def collect_pool(
     chunksize: Optional[int] = None,
     store=None,
     shard_bytes: Optional[int] = None,
+    max_task_seconds: Optional[float] = None,
+    max_rounds: int = 2,
+    retry_backoff_s: float = 0.0,
+    chaos=None,
+    report_sink: Optional[Callable] = None,
 ) -> AnyPool:
     """Phase 1: build the pool of policies (collection happens once).
 
@@ -76,6 +81,13 @@ def collect_pool(
     :class:`~repro.datastore.reader.ShardedPool` over it — same sampling
     API, same bits for the same seed. ``shard_bytes`` tunes the per-shard
     byte budget.
+
+    ``max_task_seconds`` arms the collector watchdog (hung rollouts are
+    re-dispatched), ``max_rounds`` / ``retry_backoff_s`` tune the retry
+    policy, ``chaos`` threads a
+    :class:`~repro.chaos.inject.FaultInjector` through collection, and
+    ``report_sink`` receives the final
+    :class:`~repro.collector.parallel.CollectionReport`.
     """
     from repro.collector.parallel import collect_pool_parallel, collect_pool_to_store
 
@@ -95,6 +107,11 @@ def collect_pool(
             chunksize=chunksize,
             progress=progress_cb,
             shard_bytes=shard_bytes,
+            max_task_seconds=max_task_seconds,
+            max_rounds=max_rounds,
+            retry_backoff_s=retry_backoff_s,
+            chaos=chaos,
+            report_sink=report_sink,
         )
     return collect_pool_parallel(
         envs,
@@ -104,6 +121,11 @@ def collect_pool(
         workers=workers,
         chunksize=chunksize,
         progress=progress_cb,
+        max_task_seconds=max_task_seconds,
+        max_rounds=max_rounds,
+        retry_backoff_s=retry_backoff_s,
+        chaos=chaos,
+        report_sink=report_sink,
     )
 
 
@@ -118,6 +140,8 @@ def train_sage_on_pool(
     engine: str = "fast",
     prefetch: int = 0,
     sampler_workers: int = 1,
+    chaos=None,
+    guard=None,
 ) -> TrainingRun:
     """Phase 2: offline CRR training with per-"day" checkpoints.
 
@@ -146,8 +170,14 @@ def train_sage_on_pool(
             seed=seed,
             prefetch=prefetch,
             sampler_workers=sampler_workers,
+            chaos=chaos,
         )
     elif engine == "legacy":
+        if chaos is not None or guard is not None:
+            raise ValueError(
+                "chaos / guard need the fast engine; the legacy trainer "
+                "has no fault hooks"
+            )
         trainer = CRRTrainer(
             pool, net_config=net_config, config=crr_config, seed=seed
         )
@@ -159,7 +189,10 @@ def train_sage_on_pool(
     )
     per_ckpt = n_steps // n_checkpoints
     for day in range(n_checkpoints):
-        trainer.train(per_ckpt, log_every=log_every)
+        if engine == "fast":
+            trainer.train(per_ckpt, log_every=log_every, guard=guard)
+        else:
+            trainer.train(per_ckpt, log_every=log_every)
         run.checkpoints.append(trainer.policy.state_dict())
         run.checkpoint_steps.append(trainer.steps_done)
     # the epochs are done: release the pool's concat cache (a second full

@@ -56,6 +56,12 @@ class ShardWriter:
     append:
         Continue an existing store, adding shards after the ones already
         in its manifest.
+    chaos:
+        Optional :class:`~repro.chaos.inject.FaultInjector`; pending
+        ``datastore.*`` faults (bit-flips, truncations) are applied to the
+        matching shard's files *after* the shard and manifest commit — the
+        corruption is exactly what
+        :func:`~repro.datastore.manifest.verify_store` must catch.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class ShardWriter:
         root,
         shard_bytes: int = DEFAULT_SHARD_BYTES,
         append: bool = False,
+        chaos=None,
     ) -> None:
         if shard_bytes < 1:
             raise ValueError("shard_bytes must be positive")
@@ -82,6 +89,7 @@ class ShardWriter:
         self._buffer: List[Trajectory] = []
         self._buffered_bytes = 0
         self._closed = False
+        self._chaos = chaos
 
     # ------------------------------------------------------------------
     @property
@@ -200,6 +208,8 @@ class ShardWriter:
             )
             offset += t.length
         manifest.save(self.root)
+        if self._chaos is not None:
+            self._chaos.corrupt_shard(self.root, shard_idx, files)
         self._buffer = []
         self._buffered_bytes = 0
 

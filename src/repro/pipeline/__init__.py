@@ -1,0 +1,28 @@
+"""repro.pipeline: the supervised, resumable collect->train->eval pipeline.
+
+A :class:`Supervisor` drives an ordered list of :class:`StageSpec` stages
+against a crash-safe JSON journal (:class:`PipelineState`); the standard
+collect -> verify -> train -> eval sequence for a :class:`PipelineConfig`
+comes from :func:`build_supervisor`. Every stage is idempotent and
+re-validates its artifacts on resume, so ``kill -9`` at any instant is
+recoverable with ``repro pipeline resume``.
+"""
+
+from repro.pipeline.stages import (
+    PipelineConfig,
+    build_pipeline,
+    build_supervisor,
+)
+from repro.pipeline.state import PipelineState, StageState
+from repro.pipeline.supervisor import PipelineError, StageSpec, Supervisor
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineError",
+    "PipelineState",
+    "StageSpec",
+    "StageState",
+    "Supervisor",
+    "build_pipeline",
+    "build_supervisor",
+]

@@ -119,6 +119,10 @@ class PolicyServer:
     clock:
         Monotonic time source used for deadline accounting; injectable for
         deterministic tests.
+    chaos:
+        Optional :class:`~repro.chaos.inject.FaultInjector`; pending
+        ``serve.*`` faults (NaN outputs, slow forwards) hit the matching
+        tick inside the deadline-timed region.
     """
 
     def __init__(
@@ -127,12 +131,15 @@ class PolicyServer:
         config: Optional[ServeConfig] = None,
         fast: Optional[FastPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
+        chaos=None,
     ) -> None:
         self.policy = policy
         self.config = config if config is not None else ServeConfig()
         self.fast = fast if fast is not None else FastPolicy(policy)
         self.clock = clock
         self.metrics = ServingMetrics()
+        self._chaos = chaos
+        self._tick_index = 0  # forwards served, for chaos targeting
 
         h0 = self.fast.initial_state()
         self._hdim = 0 if h0 is None else len(h0)
@@ -218,7 +225,14 @@ class PolicyServer:
 
         t0 = self.clock()
         ratios, h_next = self._forward(x, sessions)
+        if self._chaos is not None:
+            # inside the timed region: a serve.slow fault shows up as real
+            # inference latency, a serve.nan fault as poisoned outputs
+            ratios, h_next = self._chaos.mutate_serve(
+                self._tick_index, ratios, h_next
+            )
         elapsed = self.clock() - t0
+        self._tick_index += 1
         self._commit_hidden(sessions, h_next)
 
         budget = self.config.tick_budget
@@ -231,10 +245,24 @@ class PolicyServer:
             if cwnd_hint is not None:
                 sess.cwnd_est = float(cwnd_hint)
             if not missed:
-                sess.miss_streak = 0
-                sess.degraded = False
-                sess.fallback = None
-                ratio, source = float(ratios[i]), "policy"
+                value = float(ratios[i])
+                if np.isfinite(value):
+                    sess.miss_streak = 0
+                    sess.degraded = False
+                    sess.fallback = None
+                    ratio, source = value, "policy"
+                else:
+                    # a non-finite ratio must never reach a sender's cwnd:
+                    # route this decision through the heuristic instead
+                    self.metrics.invalid_actions += 1
+                    if sess.fallback is None:
+                        sess.fallback = make_fallback(self.config.fallback)
+                    ratio = float(
+                        sess.fallback.ratio(
+                            raw[i], sess.cwnd_est, self.config.tick_interval
+                        )
+                    )
+                    source = "heuristic"
             else:
                 sess.miss_streak += 1
                 if sess.miss_streak >= self.config.max_misses:
@@ -294,8 +322,12 @@ class PolicyServer:
     ) -> None:
         # Hidden state advances even on a deadline miss: the forward did
         # complete (just late), and keeping recurrent continuity makes
-        # post-brown-out recovery seamless.
+        # post-brown-out recovery seamless. Non-finite rows are the one
+        # exception — a poisoned forward must not contaminate recurrent
+        # state, so those flows keep their previous hidden state.
         if h_next is None or not self._hdim:
             return
         for i, sess in enumerate(sessions):
-            self._table[sess.row] = h_next[i]
+            row = h_next[i]
+            if np.all(np.isfinite(row)):
+                self._table[sess.row] = row

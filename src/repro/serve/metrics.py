@@ -20,7 +20,7 @@ class ServingMetrics:
     """Rolling counters for one :class:`~repro.serve.engine.PolicyServer`."""
 
     __slots__ = ("latencies_s", "batch_hist", "sources", "ticks", "decisions",
-                 "deadline_misses")
+                 "deadline_misses", "invalid_actions")
 
     def __init__(self) -> None:
         self.latencies_s: List[float] = []
@@ -29,6 +29,7 @@ class ServingMetrics:
         self.ticks = 0
         self.decisions = 0
         self.deadline_misses = 0  # ticks whose forward blew the budget
+        self.invalid_actions = 0  # non-finite policy outputs caught pre-apply
 
     # ------------------------------------------------------------------
     def record_tick(
@@ -63,6 +64,7 @@ class ServingMetrics:
             "ticks": self.ticks,
             "decisions": self.decisions,
             "deadline_misses": self.deadline_misses,
+            "invalid_actions": self.invalid_actions,
             "latency_p50_ms": round(self.latency_percentile_ms(50.0), 4),
             "latency_p99_ms": round(self.latency_percentile_ms(99.0), 4),
             "batch_hist": {str(k): v for k, v in sorted(self.batch_hist.items())},

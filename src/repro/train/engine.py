@@ -31,7 +31,11 @@ regression test pins this tolerance.
 from __future__ import annotations
 
 import json
+import os
 import time
+import zipfile
+import zlib
+from pathlib import Path
 from typing import Dict, Optional
 
 import numpy as np
@@ -62,6 +66,11 @@ class FastCRRTrainer(CRRTrainer):
         :mod:`repro.train.sampler`).
     ``sampler_workers``
         Producer threads when ``prefetch > 0``.
+    ``chaos``
+        Optional :class:`~repro.chaos.inject.FaultInjector`; pending
+        ``train.*`` faults (NaN / reward-spike batches) poison the matching
+        sampled batch — the corruption a
+        :class:`~repro.train.guard.DivergenceGuard` must catch.
     """
 
     def __init__(
@@ -73,8 +82,10 @@ class FastCRRTrainer(CRRTrainer):
         state_mask: Optional[np.ndarray] = None,
         prefetch: int = 0,
         sampler_workers: int = 1,
+        chaos=None,
     ) -> None:
         super().__init__(pool, net_config, config, seed, state_mask)
+        self._chaos = chaos
         self._bufs = fp.BufferPool()
         self.sampler = SequenceSampler(
             pool,
@@ -126,6 +137,10 @@ class FastCRRTrainer(CRRTrainer):
         t0 = time.perf_counter()
 
         batch = self.sampler.next_batch()
+        if self._chaos is not None:
+            # next_batch() pre-increments, so the batch just drawn is
+            # batch_index - 1; sampled arrays are copies, mutation is safe
+            self._chaos.mutate_batch(self.sampler.batch_index - 1, batch)
         states = batch["states"]  # (B, L, D), already normalized
         next_states = batch["next_states"]
         actions = batch["actions"]  # (B, L) cwnd ratios
@@ -264,34 +279,76 @@ class FastCRRTrainer(CRRTrainer):
         metrics_callback: Optional[MetricsCallback] = None,
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str] = None,
+        guard=None,
     ) -> Dict[str, float]:
         """Like :meth:`CRRTrainer.train`, plus periodic checkpointing:
         every ``checkpoint_every`` steps the full training state is saved
-        to ``checkpoint_path`` (overwritten in place)."""
+        to ``checkpoint_path`` (overwritten in place).
+
+        ``guard`` arms a :class:`~repro.train.guard.DivergenceGuard`: each
+        step's metrics are checked, and on divergence (non-finite values,
+        loss explosion) the trainer restores its last clean in-memory
+        snapshot and replays from there. A consumed poisoned batch (e.g.
+        an injected ``train.nan`` fault) is therefore fully masked — the
+        replayed steps are bit-identical to a run that never saw it.
+        Exhausting the guard's rollback budget raises
+        :class:`~repro.train.guard.TrainingDiverged`.
+        """
         if checkpoint_every and not checkpoint_path:
             raise ValueError("checkpoint_every requires checkpoint_path")
+        start = self.steps_done
+        end = start + n_steps
+        snapshot = self.capture_state() if guard is not None else None
         metrics: Dict[str, float] = {}
-        for i in range(n_steps):
-            metrics = self.train_step()
+        while self.steps_done < end:
+            if guard is not None:
+                restored = int(snapshot["meta/steps_done"][0])
+                try:
+                    metrics = self.train_step()
+                except (ValueError, ArithmeticError) as exc:
+                    # poisoned numbers can crash the step outright (NaN
+                    # rewards break the C51 projection) — same recovery
+                    guard.record_failure(
+                        self.steps_done,
+                        f"{type(exc).__name__}: {exc}",
+                        restored_step=restored,
+                    )
+                    self.restore_state(snapshot)
+                    continue
+                event = guard.check(
+                    self.steps_done - 1, metrics, restored_step=restored
+                )
+                if event is not None:
+                    # the poisoned step is gone: parameters, optimizer
+                    # moments, RNG, sampler position, history all rewind
+                    self.restore_state(snapshot)
+                    continue
+            else:
+                metrics = self.train_step()
+            i = self.steps_done - start  # clean steps completed this call
             if metrics_callback is not None:
-                if log_every == 0 or (i + 1) % log_every == 0:
+                if log_every == 0 or i % log_every == 0:
                     metrics_callback(self.steps_done, metrics)
-            elif log_every and (i + 1) % log_every == 0:
+            elif log_every and i % log_every == 0:
                 print(
                     f"step {self.steps_done}: "
                     f"critic={metrics['critic_loss']:.4f} "
                     f"policy={metrics['policy_loss']:.4f} "
                     f"f={metrics['mean_f']:.3f}"
                 )
-            if checkpoint_every and (i + 1) % checkpoint_every == 0:
+            if checkpoint_every and i % checkpoint_every == 0:
                 self.save_checkpoint(checkpoint_path)
+            if guard is not None and i % guard.config.snapshot_every == 0:
+                snapshot = self.capture_state()
         return metrics
 
     # ------------------------------------------------------------------
     # Checkpointing: everything needed to resume a run mid-stream —
-    # all four networks, both Adam states, the RNG stream, and the
-    # sampler position — in one compressed .npz.
-    def save_checkpoint(self, path: str) -> None:
+    # all four networks, both Adam states, the RNG stream, the sampler
+    # position, and the metric history — in one compressed .npz. The same
+    # payload doubles as the in-memory snapshot the DivergenceGuard
+    # rollback restores.
+    def _state_payload(self) -> Dict[str, np.ndarray]:
         payload: Dict[str, np.ndarray] = {}
         nets = (
             ("policy", self.policy),
@@ -314,31 +371,107 @@ class FastCRRTrainer(CRRTrainer):
         payload["meta/rng_state"] = np.array(
             json.dumps(self.rng.bit_generator.state)
         )
-        np.savez_compressed(path, **payload)
+        for key, values in self.history.items():
+            payload[f"meta/history/{key}"] = np.asarray(values, dtype=np.float64)
+        return payload
+
+    def _apply_payload(self, data, keys) -> None:
+        nets = (
+            ("policy", self.policy),
+            ("critic", self.critic),
+            ("target_policy", self.target_policy),
+            ("target_critic", self.target_critic),
+        )
+        for prefix, net in nets:
+            state = {
+                key[len(prefix) + 1 :]: data[key]
+                for key in keys
+                if key.startswith(f"{prefix}/")
+            }
+            net.load_state_dict(state)
+        for prefix, opt in (
+            ("opt_policy", self.opt_policy),
+            ("opt_critic", self.opt_critic),
+        ):
+            opt.t = int(data[f"{prefix}/t"][0])
+            for i in range(len(opt._m)):
+                opt._m[i] = data[f"{prefix}/m{i}"].copy()
+                opt._v[i] = data[f"{prefix}/v{i}"].copy()
+        self.steps_done = int(data["meta/steps_done"][0])
+        self.rng.bit_generator.state = json.loads(str(data["meta/rng_state"]))
+        self.sampler.seek(int(data["meta/batch_index"][0]))
+        for key in self.history:
+            hk = f"meta/history/{key}"
+            if hk in keys:  # absent in pre-resilience checkpoints
+                self.history[key].clear()
+                self.history[key].extend(np.asarray(data[hk]).tolist())
+
+    def capture_state(self) -> Dict[str, np.ndarray]:
+        """Deep-copied in-memory snapshot of the full training state."""
+        return {k: np.array(v, copy=True) for k, v in self._state_payload().items()}
+
+    def restore_state(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Rewind to a :meth:`capture_state` snapshot (bit-exact)."""
+        self._apply_payload(
+            {k: np.array(v, copy=True) for k, v in snapshot.items()},
+            list(snapshot.keys()),
+        )
+
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write the full training state, with a CRC sidecar.
+
+        The payload goes to a ``*.tmp`` file first and is ``os.replace``d
+        into place — a crash mid-write can never leave a truncated
+        checkpoint under the real name. ``<path>.crc32`` records the
+        final file's checksum so :meth:`load_checkpoint` can reject silent
+        corruption. (The npz is written through an open handle because
+        ``np.savez`` appends ``.npz`` to bare paths.)
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **self._state_payload())
+        os.replace(tmp, path)
+        crc = 0
+        with open(path, "rb") as fh:
+            for block in iter(lambda: fh.read(1 << 20), b""):
+                crc = zlib.crc32(block, crc)
+        sidecar = path.with_name(path.name + ".crc32")
+        tmp = sidecar.with_name(sidecar.name + ".tmp")
+        tmp.write_text(
+            json.dumps({"crc32": crc & 0xFFFFFFFF, "bytes": path.stat().st_size})
+            + "\n"
+        )
+        os.replace(tmp, sidecar)
 
     def load_checkpoint(self, path: str) -> None:
-        with np.load(path, allow_pickle=False) as data:
-            nets = (
-                ("policy", self.policy),
-                ("critic", self.critic),
-                ("target_policy", self.target_policy),
-                ("target_critic", self.target_critic),
-            )
-            for prefix, net in nets:
-                state = {
-                    key[len(prefix) + 1 :]: data[key]
-                    for key in data.files
-                    if key.startswith(f"{prefix}/")
-                }
-                net.load_state_dict(state)
-            for prefix, opt in (
-                ("opt_policy", self.opt_policy),
-                ("opt_critic", self.opt_critic),
+        """Restore a :meth:`save_checkpoint` file, verifying integrity.
+
+        When the ``.crc32`` sidecar exists the file's checksum and size
+        must match it; a corrupt or truncated archive raises ``ValueError``
+        rather than half-loading state.
+        """
+        path = Path(path)
+        sidecar = path.with_name(path.name + ".crc32")
+        if sidecar.exists():
+            expected = json.loads(sidecar.read_text())
+            crc = 0
+            with open(path, "rb") as fh:
+                for block in iter(lambda: fh.read(1 << 20), b""):
+                    crc = zlib.crc32(block, crc)
+            if (
+                (crc & 0xFFFFFFFF) != int(expected["crc32"])
+                or path.stat().st_size != int(expected["bytes"])
             ):
-                opt.t = int(data[f"{prefix}/t"][0])
-                for i in range(len(opt._m)):
-                    opt._m[i] = data[f"{prefix}/m{i}"].copy()
-                    opt._v[i] = data[f"{prefix}/v{i}"].copy()
-            self.steps_done = int(data["meta/steps_done"][0])
-            self.rng.bit_generator.state = json.loads(str(data["meta/rng_state"]))
-            self.sampler.seek(int(data["meta/batch_index"][0]))
+                raise ValueError(
+                    f"checkpoint {path} fails its integrity check "
+                    f"(crc/size mismatch vs {sidecar.name}); refusing to load"
+                )
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                self._apply_payload(data, list(data.files))
+        except (zipfile.BadZipFile, EOFError) as exc:
+            raise ValueError(
+                f"checkpoint {path} is not a valid .npz archive: {exc}"
+            ) from exc

@@ -43,6 +43,32 @@ class TestParser:
         )
         assert args.strict and args.no_quarantine
 
+    def test_pipeline_run_args(self):
+        args = build_parser().parse_args(
+            ["pipeline", "run", "--workdir", "run/", "--fault-plan", "p.json"]
+        )
+        assert args.workdir == "run/" and not args.resume
+        assert args.fault_plan == "p.json"
+        assert args.task_timeout is None
+
+    def test_pipeline_resume_and_status(self):
+        args = build_parser().parse_args(["pipeline", "resume", "--workdir", "r/"])
+        assert args.resume and args.workdir == "r/"
+        args = build_parser().parse_args(["pipeline", "status", "--workdir", "r/"])
+        assert args.workdir == "r/"
+
+    def test_chaos_plan_args(self):
+        args = build_parser().parse_args(
+            ["chaos", "plan", "--seed", "7", "--faults", "train.nan",
+             "--universes", "train=12", "--out", "plan.json"]
+        )
+        assert args.seed == 7 and args.faults == "train.nan"
+        assert args.universes == "train=12" and args.out == "plan.json"
+
+    def test_collect_task_timeout(self):
+        args = build_parser().parse_args(["collect", "--task-timeout", "30"])
+        assert args.task_timeout == 30.0
+
 
 class TestEndToEnd:
     def test_collect_train_deploy(self, tmp_path, capsys):
