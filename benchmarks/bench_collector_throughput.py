@@ -33,9 +33,46 @@ if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
 
 from repro.collector.environments import EnvConfig  # noqa: E402
-from repro.collector.parallel import collect_pool_parallel  # noqa: E402
+from repro.collector.parallel import (  # noqa: E402
+    _auto_chunksize,
+    collect_pool_parallel,
+    run_tasks,
+)
 
 OUT_PATH = REPO / "BENCH_collector.json"
+
+
+def _trivial_task(x: int) -> int:
+    """Near-zero work: what's left is dispatch (submit/pickle/IPC) cost."""
+    return x * x
+
+
+def bench_dispatch_overhead(n_tasks: int = 64, workers: int = 2) -> dict:
+    """Per-task dispatch overhead: chunksize=1 vs the auto heuristic.
+
+    Trivial tasks make compute negligible, so elapsed time is dominated by
+    the driver-side submit/pickle round trips the chunking heuristic is
+    meant to amortize — measurable even on a single-core machine, where
+    the worker-scaling curve itself degenerates.
+    """
+    tasks = list(range(n_tasks))
+    auto = _auto_chunksize(n_tasks, workers)
+    out = {"n_tasks": n_tasks, "workers": workers, "auto_chunksize": auto}
+    for label, size in (("chunksize_1", 1), ("chunksize_auto", auto)):
+        t0 = time.perf_counter()
+        results, report = run_tasks(
+            tasks, fn=_trivial_task, workers=workers, chunksize=size
+        )
+        elapsed = time.perf_counter() - t0
+        assert not report.failures and results[-1] == (n_tasks - 1) ** 2
+        out[label] = {
+            "elapsed_s": round(elapsed, 3),
+            "per_task_ms": round(elapsed / n_tasks * 1e3, 3),
+        }
+    out["dispatch_speedup"] = round(
+        out["chunksize_1"]["elapsed_s"] / out["chunksize_auto"]["elapsed_s"], 3
+    )
+    return out
 
 
 def bench_environments(tiny: bool):
@@ -103,6 +140,7 @@ def run_bench(tiny: bool = False, worker_counts=None) -> dict:
             "speedup": round(serial_s / elapsed, 3),
         }
     result["bit_identical"] = identical
+    result["dispatch_overhead"] = bench_dispatch_overhead(workers=2)
     return result
 
 
@@ -120,6 +158,16 @@ def print_report(result: dict) -> None:
               f"{row['rollouts_per_s']:>11.2f} {row['speedup']:>8.2f}")
     print(f"parallel pools bit-identical to serial: "
           f"{result['bit_identical']}")
+    if "dispatch_overhead" in result:
+        d = result["dispatch_overhead"]
+        print(
+            f"dispatch overhead ({d['n_tasks']} trivial tasks, "
+            f"{d['workers']} workers): "
+            f"{d['chunksize_1']['per_task_ms']:.2f} ms/task at chunksize 1 "
+            f"-> {d['chunksize_auto']['per_task_ms']:.2f} ms/task at "
+            f"auto chunksize {d['auto_chunksize']} "
+            f"({d['dispatch_speedup']:.2f}x)"
+        )
 
 
 # --------------------------------------------------------------------------

@@ -6,7 +6,9 @@ Usage::
     python -m repro train   --pool pool.npz|shards/ --steps 300 --out sage.npz
     python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz --serve]
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
-    python -m repro serve-bench --flows 64
+    python -m repro serve-bench --flows 64 [--tiers]
+    python -m repro distill fit  --agent sage.npz --pool pool.npz --out tree.npz
+    python -m repro distill eval --model tree.npz --agent sage.npz --pool pool.npz
     python -m repro train-bench --pool pool.npz
     python -m repro pipeline run --workdir run/ [--fault-plan plan.json]
     python -m repro pipeline resume --workdir run/
@@ -160,13 +162,67 @@ def _cmd_serve_bench(args) -> int:
         enc_dim=args.enc_dim, gru_dim=args.gru_dim,
         n_components=args.components, n_atoms=args.atoms,
     )
+    tiers_kwargs = {}
+    if args.tiers:
+        tiers_kwargs = {
+            "target_coverage": args.coverage,
+            "refresh_every": args.refresh,
+            "with_league": not args.no_league,
+            "league_duration": args.league_duration,
+        }
     result = run_serve_bench(
         flows=args.flows, ticks=args.ticks, seed=args.seed, net_config=net,
         with_harness=not args.no_harness,
+        tiers=args.tiers, tiers_kwargs=tiers_kwargs,
     )
     print(format_report(result))
     write_report(result, args.out)
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_distill_fit(args) -> int:
+    from repro.datastore import open_pool
+    from repro.distill import DistillConfig, fit_distilled
+
+    agent = _load_agent(
+        args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+    )
+    pool = open_pool(args.pool)
+    cfg = DistillConfig(
+        max_depth=args.max_depth,
+        max_leaves=args.max_leaves,
+        min_leaf=args.min_leaf,
+        target_coverage=args.coverage,
+        refresh_every=args.refresh,
+        max_samples=args.max_samples or None,
+    )
+    distilled, report = fit_distilled(agent.policy, pool, cfg)
+    distilled.save(args.out)
+    for key, val in report.items():
+        print(f"{key:>22}: {val}")
+    if args.rules:
+        print("--- rules (first", args.rules, ") ---")
+        for rule in distilled.rules(max_rules=args.rules):
+            print(" ", rule)
+    print(f"saved distilled controller to {args.out}")
+    return 0
+
+
+def _cmd_distill_eval(args) -> int:
+    from repro.datastore import open_pool
+    from repro.distill import DistilledPolicy, evaluate_distilled
+
+    agent = _load_agent(
+        args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+    )
+    distilled = DistilledPolicy.load(args.model)
+    pool = open_pool(args.pool)
+    report = evaluate_distilled(
+        distilled, agent.policy, pool, max_samples=args.max_samples or None
+    )
+    for key, val in report.items():
+        print(f"{key:>26}: {val}")
     return 0
 
 
@@ -493,9 +549,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-harness", action="store_true", dest="no_harness",
                    help="skip the end-to-end multi-flow network harness")
+    p.add_argument("--tiers", action="store_true",
+                   help="also benchmark the tiered router (distilled "
+                        "symbolic tier 0 in front of the batched NN)")
+    p.add_argument("--coverage", type=float, default=0.98,
+                   help="distilled gate's target training coverage")
+    p.add_argument("--refresh", type=int, default=32,
+                   help="forced NN refresh interval (ticks per flow)")
+    p.add_argument("--no-league", action="store_true", dest="no_league",
+                   help="skip the league-fidelity check in --tiers mode")
+    p.add_argument("--league-duration", type=float, default=10.0,
+                   dest="league_duration",
+                   help="per-env seconds for the league-fidelity check")
     p.add_argument("--out", default="BENCH_serve.json")
     _add_net_args(p)
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "distill",
+        help="fit / evaluate the symbolic controller distilled from a policy",
+    )
+    dis_sub = p.add_subparsers(dest="distill_command", required=True)
+
+    q = dis_sub.add_parser(
+        "fit", help="distill a policy into a CART controller on a pool"
+    )
+    q.add_argument("--agent", required=True, help="trained policy .npz")
+    q.add_argument("--pool", required=True,
+                   help="pool .npz or sharded store directory")
+    q.add_argument("--out", default="distilled.npz")
+    q.add_argument("--max-depth", type=int, default=12, dest="max_depth")
+    q.add_argument("--max-leaves", type=int, default=256, dest="max_leaves")
+    q.add_argument("--min-leaf", type=int, default=16, dest="min_leaf")
+    q.add_argument("--coverage", type=float, default=0.85,
+                   help="target fraction of decisions the symbolic tier "
+                        "should answer")
+    q.add_argument("--refresh", type=int, default=8,
+                   help="serving forces an NN forward every REFRESH ticks")
+    q.add_argument("--max-samples", type=int, default=0, dest="max_samples",
+                   help="subsample the distillation dataset (0 = all)")
+    q.add_argument("--rules", type=int, default=0,
+                   help="print the first N fitted if-then rules")
+    _add_net_args(q)
+    q.set_defaults(func=_cmd_distill_fit)
+
+    q = dis_sub.add_parser(
+        "eval", help="imitation quality of a distilled controller on a pool"
+    )
+    q.add_argument("--model", required=True, help="distilled controller .npz")
+    q.add_argument("--agent", required=True, help="trained policy .npz")
+    q.add_argument("--pool", required=True,
+                   help="pool .npz or sharded store directory")
+    q.add_argument("--max-samples", type=int, default=0, dest="max_samples")
+    _add_net_args(q)
+    q.set_defaults(func=_cmd_distill_eval)
 
     return parser
 

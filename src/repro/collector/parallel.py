@@ -300,8 +300,18 @@ def _terminate_workers(executor: ProcessPoolExecutor) -> None:
 
 
 def _auto_chunksize(n_tasks: int, workers: int) -> int:
-    """Chunks big enough to amortize IPC, small enough to balance load."""
-    return max(1, min(8, n_tasks // (workers * 4) or 1))
+    """Chunks big enough to amortize IPC, small enough to balance load.
+
+    Targets two chunks per worker (ceiling division), so every task batch
+    — even a small one — pays at most ``2 * workers`` submit/pickle round
+    trips while retaining one spare chunk per worker for load balancing.
+    The floor division this replaces collapsed to chunksize 1 whenever
+    ``n_tasks < 8 * workers``, which put a full dispatch round trip on
+    every single task and made 2-worker runs *slower* than serial. The
+    cap of 8 keeps watchdog deadlines (which scale with chunk length)
+    and retry granularity bounded.
+    """
+    return max(1, min(8, -(-n_tasks // (workers * 2))))
 
 
 def run_tasks(

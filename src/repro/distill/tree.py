@@ -1,0 +1,289 @@
+"""Greedy CART regression trees in pure numpy.
+
+The distilled symbolic controller is a single regression tree over
+(GR-state, hidden-summary) features predicting the policy's log cwnd
+ratio. A tree answers in a handful of float comparisons — microseconds
+for a whole serving batch — which is what lets the tiered router keep the
+batched GRU forward off the common path.
+
+Fitting is classic greedy CART with two twists sized for this repo:
+
+- **best-first growth** under an explicit leaf budget: candidate splits
+  live in a max-heap keyed by SSE reduction, so a ``max_leaves`` cap keeps
+  the *most useful* splits rather than whatever a depth-first sweep reached
+  first;
+- **prefix-sum split search**: per (node, feature) the targets are sorted
+  by feature value once and every admissible cut point is scored from
+  cumulative sums — O(N log N) per feature, no per-threshold rescan.
+
+Every leaf stores the training-set standard deviation of its targets;
+:meth:`RegressionTree.predict` returns it as a per-row *confidence*
+``1 / (1 + std)`` — the uncertainty gate the serving router thresholds on.
+
+The fitted tree is frozen into flat arrays (feature index, threshold,
+child indices, leaf value/confidence), so batched prediction is a short
+``depth``-step gather loop over the whole batch at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Fitting budgets for the distilled controller."""
+
+    max_depth: int = 12
+    max_leaves: int = 256
+    min_leaf: int = 16  # no leaf may hold fewer training samples
+    min_gain: float = 1e-9  # SSE reduction below this is noise, not signal
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.max_leaves < 2:
+            raise ValueError("max_leaves must be >= 2")
+        if self.min_leaf < 1:
+            raise ValueError("min_leaf must be >= 1")
+
+
+def _best_split(
+    x: np.ndarray, y: np.ndarray, min_leaf: int
+) -> Tuple[float, int, float]:
+    """The best (gain, feature, threshold) for one node's sample set.
+
+    Gain is the SSE reduction of the split vs the unsplit node. Returns
+    ``(-inf, -1, 0.0)`` when no admissible split exists (constant features
+    or the ``min_leaf`` floor).
+    """
+    n, n_features = x.shape
+    best_gain, best_f, best_thr = -np.inf, -1, 0.0
+    if n < 2 * min_leaf:
+        return best_gain, best_f, best_thr
+    sse_parent = float(np.sum((y - y.mean()) ** 2))
+    for f in range(n_features):
+        xs = x[:, f]
+        order = np.argsort(xs, kind="stable")
+        xs_sorted = xs[order]
+        ys = y[order]
+        # admissible cut points: between distinct feature values, with at
+        # least min_leaf samples on each side
+        cum = np.cumsum(ys)
+        cum2 = np.cumsum(ys * ys)
+        total, total2 = cum[-1], cum2[-1]
+        k = np.arange(1, n)  # left side takes the first k samples
+        valid = (k >= min_leaf) & (k <= n - min_leaf)
+        valid &= xs_sorted[1:] > xs_sorted[:-1]
+        if not np.any(valid):
+            continue
+        kl = k[valid].astype(np.float64)
+        sum_l, sum2_l = cum[:-1][valid], cum2[:-1][valid]
+        sse_l = sum2_l - sum_l * sum_l / kl
+        kr = n - kl
+        sum_r, sum2_r = total - sum_l, total2 - sum2_l
+        sse_r = sum2_r - sum_r * sum_r / kr
+        gains = sse_parent - (sse_l + sse_r)
+        i = int(np.argmax(gains))
+        if gains[i] > best_gain:
+            best_gain = float(gains[i])
+            best_f = f
+            # midpoint threshold: robust to unseen values between the two
+            idx = k[valid][i]
+            best_thr = float(
+                (xs_sorted[idx - 1] + xs_sorted[idx]) / 2.0
+            )
+    return best_gain, best_f, best_thr
+
+
+class RegressionTree:
+    """A fitted CART regression tree, frozen into flat arrays.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; internal nodes route
+    ``x[feature] <= threshold`` left. Leaves carry ``value`` (mean training
+    target) and ``conf`` (``1 / (1 + std)`` of training targets).
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "conf",
+                 "n_features", "depth")
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        conf: np.ndarray,
+        n_features: int,
+        depth: int,
+    ) -> None:
+        self.feature = np.asarray(feature, dtype=np.int32)
+        self.threshold = np.asarray(threshold, dtype=np.float64)
+        self.left = np.asarray(left, dtype=np.int32)
+        self.right = np.asarray(right, dtype=np.int32)
+        self.value = np.asarray(value, dtype=np.float64)
+        self.conf = np.asarray(conf, dtype=np.float64)
+        self.n_features = int(n_features)
+        self.depth = int(depth)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature < 0))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        config: Optional[TreeConfig] = None,
+    ) -> "RegressionTree":
+        """Fit a tree to ``(N, F)`` features and ``(N,)`` targets."""
+        cfg = config if config is not None else TreeConfig()
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError(
+                f"need (N, F) features and (N,) targets, got {x.shape} / {y.shape}"
+            )
+        if len(x) == 0:
+            raise ValueError("cannot fit a tree to an empty dataset")
+
+        # growable node storage; children appended as splits are committed
+        feature: List[int] = [-1]
+        threshold: List[float] = [0.0]
+        left: List[int] = [-1]
+        right: List[int] = [-1]
+        value: List[float] = [float(y.mean())]
+        conf: List[float] = [1.0 / (1.0 + float(y.std()))]
+        depths: List[int] = [0]
+        samples = {0: np.arange(len(x))}
+
+        # best-first frontier: (-gain, tiebreak, node_id, feature, thr)
+        heap: List[Tuple[float, int, int, int, float]] = []
+        counter = 0
+
+        def _propose(node_id: int) -> None:
+            nonlocal counter
+            if depths[node_id] >= cfg.max_depth:
+                return
+            idx = samples[node_id]
+            gain, f, thr = _best_split(x[idx], y[idx], cfg.min_leaf)
+            if f >= 0 and gain > cfg.min_gain:
+                heapq.heappush(heap, (-gain, counter, node_id, f, thr))
+                counter += 1
+
+        _propose(0)
+        n_leaves = 1
+        max_depth_seen = 0
+        while heap and n_leaves < cfg.max_leaves:
+            _neg_gain, _c, node_id, f, thr = heapq.heappop(heap)
+            idx = samples.pop(node_id)
+            go_left = x[idx, f] <= thr
+            for side, child_idx in ((True, idx[go_left]), (False, idx[~go_left])):
+                child_id = len(feature)
+                yc = y[child_idx]
+                feature.append(-1)
+                threshold.append(0.0)
+                left.append(-1)
+                right.append(-1)
+                value.append(float(yc.mean()))
+                conf.append(1.0 / (1.0 + float(yc.std())))
+                depths.append(depths[node_id] + 1)
+                samples[child_id] = child_idx
+                if side:
+                    left[node_id] = child_id
+                else:
+                    right[node_id] = child_id
+            feature[node_id] = f
+            threshold[node_id] = thr
+            max_depth_seen = max(max_depth_seen, depths[node_id] + 1)
+            n_leaves += 1  # one leaf became two
+            _propose(left[node_id])
+            _propose(right[node_id])
+
+        return cls(
+            feature=np.array(feature, dtype=np.int32),
+            threshold=np.array(threshold, dtype=np.float64),
+            left=np.array(left, dtype=np.int32),
+            right=np.array(right, dtype=np.int32),
+            value=np.array(value, dtype=np.float64),
+            conf=np.array(conf, dtype=np.float64),
+            n_features=x.shape[1],
+            depth=max_depth_seen,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Route a ``(N, F)`` batch to leaves: ``(values, confidences)``.
+
+        A vectorized gather loop: every row advances one tree level per
+        iteration, so the whole batch costs ``depth`` masked indexing
+        passes regardless of N.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"tree expects {self.n_features} features, got {x.shape[1]}"
+            )
+        node = np.zeros(len(x), dtype=np.int32)
+        for _ in range(self.depth):
+            f = self.feature[node]
+            active = f >= 0
+            if not np.any(active):
+                break
+            rows = np.nonzero(active)[0]
+            xf = x[rows, f[rows]]
+            go_left = xf <= self.threshold[node[rows]]
+            node[rows] = np.where(
+                go_left, self.left[node[rows]], self.right[node[rows]]
+            )
+        return self.value[node], self.conf[node]
+
+    def predict_one(self, x: np.ndarray) -> Tuple[float, float]:
+        """Scalar reference walk (tests pin :meth:`predict` against this)."""
+        x = np.asarray(x, dtype=np.float64)
+        node = 0
+        while self.feature[node] >= 0:
+            if x[self.feature[node]] <= self.threshold[node]:
+                node = self.left[node]
+            else:
+                node = self.right[node]
+        return float(self.value[node]), float(self.conf[node])
+
+    # ------------------------------------------------------------------
+    def rules(
+        self, feature_names: Optional[List[str]] = None, max_rules: int = 0
+    ) -> List[str]:
+        """Render the tree as human-readable if-then rules (one per leaf)."""
+        names = feature_names or [f"x{i}" for i in range(self.n_features)]
+        out: List[str] = []
+        stack: List[Tuple[int, List[str]]] = [(0, [])]
+        while stack:
+            node, path = stack.pop()
+            if self.feature[node] < 0:
+                cond = " and ".join(path) if path else "always"
+                out.append(
+                    f"if {cond}: value={self.value[node]:+.4f} "
+                    f"(conf={self.conf[node]:.3f})"
+                )
+                if max_rules and len(out) >= max_rules:
+                    break
+                continue
+            name = names[self.feature[node]]
+            thr = self.threshold[node]
+            stack.append((self.right[node], path + [f"{name} > {thr:.4g}"]))
+            stack.append((self.left[node], path + [f"{name} <= {thr:.4g}"]))
+        return out

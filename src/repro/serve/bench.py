@@ -12,6 +12,14 @@ Both run the policy in deterministic mode so the decision streams are
 directly comparable (batched vs serial agree to float rounding; the bitwise
 batch-composition guarantee is enforced by ``tests/test_serve.py``).
 Optionally also runs the end-to-end multi-flow network harness.
+
+``tiers=True`` adds the tiered-router section: a distilled symbolic
+controller is fit on states the policy actually visits (short rollouts in
+Set-1-style environments), the pooled states are replayed as a realistic
+N-flow serving stream, and the same stream is timed through an NN-only
+server and a tiered server. The section reports the symbolic hit-rate,
+per-tier latency percentiles, and — via a small two-participant league —
+the *fidelity* of tiered serving: the winning-rate delta vs NN-only.
 """
 
 from __future__ import annotations
@@ -37,8 +45,14 @@ def run_serve_bench(
     net_config: Optional[NetworkConfig] = None,
     with_harness: bool = True,
     harness_duration: float = 3.0,
+    tiers: bool = False,
+    tiers_kwargs: Optional[dict] = None,
 ) -> dict:
-    """Benchmark batched serving against N batch=1 agents; returns a report."""
+    """Benchmark batched serving against N batch=1 agents; returns a report.
+
+    ``tiers=True`` appends the tiered-router section (see
+    :func:`run_tiered_bench`); ``tiers_kwargs`` forwards its knobs.
+    """
     cfg = net_config if net_config is not None else NetworkConfig()
     rng = np.random.default_rng(seed)
     policy = SagePolicy(cfg, rng)
@@ -119,7 +133,169 @@ def run_serve_bench(
             "fallback_rate": hres.metrics["fallback_rate"],
             "latency_p99_ms": hres.metrics["latency_p99_ms"],
         }
+
+    if tiers:
+        result["tiers_bench"] = run_tiered_bench(
+            flows=flows, ticks=ticks, seed=seed, net_config=cfg,
+            policy=policy, **(tiers_kwargs or {}),
+        )
     return result
+
+
+# ---------------------------------------------------------------------------
+# tiered-router section
+# ---------------------------------------------------------------------------
+
+
+def _collect_bench_pool(policy: SagePolicy, seed: int, duration: float):
+    """Short policy rollouts in Set-1-style envs: the distillation pool."""
+    from repro.collector.environments import set1_environments
+    from repro.collector.pool import PolicyPool
+    from repro.collector.rollout import run_policy
+
+    envs = set1_environments(
+        bws=(24.0, 48.0), rtts=(0.04,), buffers=(2.0,),
+        step_ms=(1.0,), duration=duration,
+    )
+    pool = PolicyPool()
+    agent = SageAgent(policy, deterministic=True, seed=seed)
+    for env in envs:
+        pool.add_rollout(run_policy(env, agent))
+    return pool
+
+
+def _replay_stream(pool, flows: int, ticks: int) -> np.ndarray:
+    """Slice the pool's raw states into a ``(ticks, flows, 69)`` stream.
+
+    Each flow reads a contiguous window (wrapping) of the concatenated
+    pool states, so per-flow streams keep realistic temporal structure.
+    """
+    concat = np.concatenate(
+        [np.asarray(t.states, dtype=np.float64) for t in pool.trajectories]
+    )
+    m = len(concat)
+    stream = np.empty((ticks, flows, STATE_DIM))
+    for i in range(flows):
+        start = (i * max(m // flows, 1)) % m
+        idx = (start + np.arange(ticks)) % m
+        stream[:, i, :] = concat[idx]
+    return stream
+
+
+def _time_stream(server: PolicyServer, stream: np.ndarray) -> float:
+    """Serve a ``(ticks, flows)`` stream; returns elapsed seconds."""
+    ticks, flows = stream.shape[:2]
+    for i in range(flows):
+        server.connect(i)
+    t0 = time.perf_counter()
+    for t in range(ticks):
+        for i in range(flows):
+            server.submit(i, stream[t, i])
+        server.tick()
+    return time.perf_counter() - t0
+
+
+def run_tiered_bench(
+    flows: int = 64,
+    ticks: int = 200,
+    seed: int = 0,
+    net_config: Optional[NetworkConfig] = None,
+    policy: Optional[SagePolicy] = None,
+    target_coverage: float = 0.98,
+    refresh_every: int = 32,
+    max_depth: int = 10,
+    pool_duration: float = 8.0,
+    with_league: bool = True,
+    league_duration: float = 10.0,
+) -> dict:
+    """Benchmark the tiered router against NN-only serving; returns a report.
+
+    The distilled controller is fit on states the policy itself visits
+    (``pool_duration``-second rollouts); the serving stream replays those
+    pooled states, so the symbolic tier is exercised on its own traffic
+    distribution — the deployment the tiered router is built for.
+    """
+    from repro.distill import DistillConfig, fit_distilled
+
+    cfg = net_config if net_config is not None else NetworkConfig()
+    if policy is None:
+        policy = SagePolicy(cfg, np.random.default_rng(seed))
+
+    pool = _collect_bench_pool(policy, seed, pool_duration)
+    distilled, fit_report = fit_distilled(
+        policy,
+        pool,
+        DistillConfig(
+            target_coverage=target_coverage,
+            refresh_every=refresh_every,
+            max_depth=max_depth,
+        ),
+    )
+
+    stream = _replay_stream(pool, flows, ticks)
+    serve_cfg = ServeConfig(deterministic=True, tick_budget=None, seed=seed)
+
+    nn_server = PolicyServer(policy, serve_cfg)
+    nn_s = _time_stream(nn_server, stream)
+
+    tiered_server = PolicyServer(policy, serve_cfg, distilled=distilled)
+    tiered_s = _time_stream(tiered_server, stream)
+    snap = tiered_server.metrics.snapshot()
+
+    flow_ticks = flows * ticks
+    result = {
+        "distill": fit_report,
+        "nn_only": {
+            "elapsed_s": round(nn_s, 4),
+            "flows_per_s": round(flow_ticks / nn_s, 1),
+            "tick_ms": round(nn_s / ticks * 1e3, 4),
+        },
+        "tiered": {
+            "elapsed_s": round(tiered_s, 4),
+            "flows_per_s": round(flow_ticks / tiered_s, 1),
+            "tick_ms": round(tiered_s / ticks * 1e3, 4),
+            "tiers": snap["tiers"],
+            "sources": snap["sources"],
+        },
+        "speedup_vs_nn": round(nn_s / tiered_s, 3),
+        "symbolic_hit_rate": snap["symbolic_hit_rate"],
+    }
+
+    if with_league:
+        result["league_fidelity"] = _league_fidelity(
+            policy, distilled, seed, league_duration
+        )
+    return result
+
+
+def _league_fidelity(
+    policy: SagePolicy, distilled, seed: int, duration: float
+) -> dict:
+    """Winning-rate delta of tiered serving vs NN-only in one small league."""
+    from repro.collector.environments import set1_environments
+    from repro.evalx.leagues import Participant, run_league
+
+    envs = set1_environments(
+        bws=(32.0,), rtts=(0.03, 0.05), buffers=(1.5,),
+        step_ms=(1.0,), duration=duration,
+    )
+    participants = [
+        Participant.from_served(
+            policy, name="sage-nn", deterministic=True, seed=seed
+        ),
+        Participant.from_served(
+            policy, name="sage-tiered", deterministic=True, seed=seed,
+            distilled=distilled,
+        ),
+    ]
+    league = run_league(participants, set1=envs, set2=envs[:1])
+    nn_rate = league.set1_rates.get("sage-nn", 0.0)
+    tiered_rate = league.set1_rates.get("sage-tiered", 0.0)
+    return {
+        "nn_winning_rate": round(nn_rate, 4),
+        "tiered_winning_rate": round(tiered_rate, 4),
+        "delta_points": round(abs(nn_rate - tiered_rate) * 100.0, 3),
+    }
 
 
 def format_report(result: dict) -> str:
@@ -148,6 +324,37 @@ def format_report(result: dict) -> str:
             f"Jain {h['jain_fairness']:.3f}, "
             f"fallback rate {h['fallback_rate']:.3f}"
         )
+    if "tiers_bench" in result:
+        tb = result["tiers_bench"]
+        lines.append(
+            f"--- tiered router (tree: {tb['distill']['n_leaves']} leaves, "
+            f"depth {tb['distill']['depth']}) ---"
+        )
+        for mode in ("nn_only", "tiered"):
+            row = tb[mode]
+            lines.append(
+                f"{mode:>10} {row['elapsed_s']:>10.3f} "
+                f"{row['flows_per_s']:>10.0f} {row['tick_ms']:>9.3f}"
+            )
+        tier_bits = []
+        for tier, stats in tb["tiered"]["tiers"].items():
+            tier_bits.append(
+                f"{tier}: {stats['decisions']} "
+                f"(p50/p99 {stats['latency_p50_ms']:.3f}/"
+                f"{stats['latency_p99_ms']:.3f} ms)"
+            )
+        lines.append(
+            f"speedup vs NN-only: {tb['speedup_vs_nn']:.2f}x   "
+            f"symbolic hit-rate: {tb['symbolic_hit_rate'] * 100:.1f}%"
+        )
+        lines.append("per-tier: " + "   ".join(tier_bits))
+        if "league_fidelity" in tb:
+            lf = tb["league_fidelity"]
+            lines.append(
+                f"league fidelity: tiered {lf['tiered_winning_rate'] * 100:.2f}% "
+                f"vs NN-only {lf['nn_winning_rate'] * 100:.2f}% "
+                f"(delta {lf['delta_points']:.2f} points)"
+            )
     return "\n".join(lines)
 
 

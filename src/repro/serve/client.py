@@ -32,11 +32,14 @@ class ServedAgent:
         config: Optional[ServeConfig] = None,
         server: Optional[PolicyServer] = None,
         flow_id: int = 0,
+        distilled=None,
     ) -> None:
         self.policy = policy
         self.name = name
         self.seed = seed
         self.flow_id = flow_id
+        #: optional DistilledPolicy mounted as tier 0 of the private server
+        self.distilled = distilled
         #: sample stream for stochastic deployment; persists across resets
         #: (and is reseeded per task by the parallel league runner, exactly
         #: like SageAgent's)
@@ -53,7 +56,9 @@ class ServedAgent:
         if self._shared_server is not None:
             self.server = self._shared_server
         else:
-            self.server = PolicyServer(self.policy, self.config)
+            self.server = PolicyServer(
+                self.policy, self.config, distilled=self.distilled
+            )
         if self.flow_id in getattr(self.server, "_sessions", {}):
             self.server.close(self.flow_id)
         self.server.connect(self.flow_id, rng=self.rng)

@@ -1,34 +1,44 @@
-"""The policy-serving engine: N flows, one shared policy, batched inference.
+"""The policy-serving engine: N flows, one shared policy, tiered inference.
 
 The paper's Execution block deploys the frozen policy per flow; serving
 "heavy traffic" means many concurrent flows must share one policy without
 N separate forward passes per control tick. :class:`PolicyServer` is that
-tier:
+tier, organized as a **three-tier router** per control tick:
 
-- a **per-flow hidden-state table** — one row of GRU state per connection,
-  allocated on :meth:`connect`, freed on :meth:`close` (the table doubles
-  like a socket table; rows are recycled through a free list);
-- a **tick scheduler** — senders :meth:`submit` their raw 69-dim GR states
-  as ticks fire; :meth:`tick` gathers everything pending into a single
-  ``(N, 69)`` batched forward (`FastPolicy.step_batch`, bitwise
-  row-consistent for any batch composition);
-- a **deadline/fallback path** — when the forward misses the tick budget,
-  every flow in the batch keeps its previous cwnd ratio; after
-  ``max_misses`` *consecutive* misses a flow degrades to a built-in
-  heuristic (ratio-space CUBIC by default) until inference meets the
-  deadline again;
-- **serving metrics** — per-tick latency percentiles, a batch-size
-  histogram, and decision-provenance counts (policy / stale / heuristic).
+- **tier 0 — symbolic fast path**: when a distilled controller
+  (:class:`~repro.distill.DistilledPolicy`) is mounted, every pending flow
+  is first routed through the CART tree (one vectorized walk for the whole
+  batch, microseconds). Flows whose leaf confidence clears the calibrated
+  gate — and whose hidden state is not overdue for a refresh — are
+  answered right there and never reach the NN.
+- **tier 1 — batched NN**: the uncertain remainder is gathered into a
+  single ``(M, 69)`` batched forward (`FastPolicy.step_batch`, bitwise
+  row-consistent for any batch composition). With no distilled controller
+  this is every flow — the engine then behaves exactly (bitwise) like the
+  pre-tiering batched server.
+- **tier 2 — heuristic fallback**: ratio-space CUBIC/AIMD answers flows
+  whose NN output was non-finite or that degraded after ``max_misses``
+  consecutive deadline misses, exactly as before.
 
-A batch of one takes the legacy 1-D ``FastPolicy`` fast path (BLAS gemv),
-which keeps single-flow serving bit-identical to the historical
-``SageAgent`` — the pretrained-checkpoint gates depend on that.
+Per-flow serving state (previous ratio, cwnd estimate, miss streak,
+degradation flag, ticks since the last NN forward) lives in **row-indexed
+column arrays** parallel to the hidden-state table, so the common-case
+bookkeeping — the whole symbolic tier — is a handful of vectorized ops
+rather than N python attribute updates. Rows are recycled through a free
+list exactly like the hidden table; :meth:`connect` / :meth:`close`
+allocate and free one row of everything.
+
+The deadline machinery applies to the NN tier only: tier-0 answers are
+effectively instantaneous and keep their flows fresh through an inference
+brown-out. A batch of one takes the legacy 1-D ``FastPolicy`` fast path
+(BLAS gemv), which keeps single-flow serving bit-identical to the
+historical ``SageAgent`` — the pretrained-checkpoint gates depend on that.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -48,6 +58,13 @@ class ServeConfig:
     ``max_misses`` is K, the consecutive-miss count after which a flow
     degrades to ``fallback``. ``tick_interval`` is the control period the
     fallback heuristics integrate over.
+
+    ``confidence_threshold`` and ``refresh_every`` govern the symbolic
+    tier when a distilled controller is mounted: ``None`` defers to the
+    thresholds calibrated into the controller at fit time. A flow is
+    answered symbolically only while its leaf confidence clears the
+    threshold *and* it has had a real NN forward within the last
+    ``refresh_every`` ticks (the staleness bound on its hidden state).
     """
 
     deterministic: bool = False
@@ -58,6 +75,8 @@ class ServeConfig:
     seed: int = 0
     state_mask: Optional[np.ndarray] = None
     initial_capacity: int = 16
+    confidence_threshold: Optional[float] = None
+    refresh_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_misses < 1:
@@ -66,6 +85,8 @@ class ServeConfig:
             raise ValueError("tick_budget must be >= 0 or None")
         if self.initial_capacity < 1:
             raise ValueError("initial_capacity must be >= 1")
+        if self.refresh_every is not None and self.refresh_every < 2:
+            raise ValueError("refresh_every must be >= 2 (or None)")
 
 
 @dataclass
@@ -74,34 +95,23 @@ class ServeDecision:
 
     flow_id: int
     ratio: float
-    #: "policy" (fresh inference), "stale" (deadline missed, previous ratio
-    #: reused), or "heuristic" (degraded to the built-in fallback)
+    #: "symbolic" (distilled-tree fast path), "policy" (fresh NN inference),
+    #: "stale" (deadline missed, previous ratio reused), or "heuristic"
+    #: (degraded to the built-in fallback)
     source: str
     latency_s: float
     batch_size: int
 
 
 class _FlowSession:
-    """Per-connection serving state (everything but the hidden row)."""
+    """Per-connection objects that cannot live in the column arrays."""
 
-    __slots__ = (
-        "row",
-        "rng",
-        "last_ratio",
-        "miss_streak",
-        "degraded",
-        "fallback",
-        "cwnd_est",
-    )
+    __slots__ = ("row", "rng", "fallback")
 
     def __init__(self, row: int, rng: np.random.Generator) -> None:
         self.row = row
         self.rng = rng
-        self.last_ratio = 1.0
-        self.miss_streak = 0
-        self.degraded = False
         self.fallback: Optional[RatioFallback] = None
-        self.cwnd_est = 10.0  # packets; resynced by submit(cwnd=...) hints
 
 
 class PolicyServer:
@@ -123,6 +133,10 @@ class PolicyServer:
         Optional :class:`~repro.chaos.inject.FaultInjector`; pending
         ``serve.*`` faults (NaN outputs, slow forwards) hit the matching
         tick inside the deadline-timed region.
+    distilled:
+        Optional :class:`~repro.distill.DistilledPolicy`; mounts the
+        symbolic tier. ``None`` (the default) leaves the engine bitwise
+        identical to the pre-tiering batched server.
     """
 
     def __init__(
@@ -132,19 +146,27 @@ class PolicyServer:
         fast: Optional[FastPolicy] = None,
         clock: Callable[[], float] = time.perf_counter,
         chaos=None,
+        distilled=None,
     ) -> None:
         self.policy = policy
         self.config = config if config is not None else ServeConfig()
         self.fast = fast if fast is not None else FastPolicy(policy)
         self.clock = clock
         self.metrics = ServingMetrics()
+        self.distilled = distilled
         self._chaos = chaos
-        self._tick_index = 0  # forwards served, for chaos targeting
+        self._tick_index = 0  # NN forwards served, for chaos targeting
 
         h0 = self.fast.initial_state()
         self._hdim = 0 if h0 is None else len(h0)
         cap = self.config.initial_capacity
         self._table = np.zeros((cap, self._hdim))
+        # session-table columns, parallel to the hidden table (row-indexed)
+        self._last_ratio = np.ones(cap)
+        self._cwnd_est = np.full(cap, 10.0)  # packets; resynced by submit()
+        self._miss_streak = np.zeros(cap, dtype=np.int64)
+        self._degraded = np.zeros(cap, dtype=bool)
+        self._nn_age = np.zeros(cap, dtype=np.int64)  # ticks since NN forward
         self._free: List[int] = list(range(cap - 1, -1, -1))
         self._sessions: Dict[int, _FlowSession] = {}
         #: flow_id -> (raw state, optional cwnd hint), insertion-ordered
@@ -165,19 +187,24 @@ class PolicyServer:
     def connect(
         self, flow_id: int, rng: Optional[np.random.Generator] = None
     ) -> None:
-        """Open a serving session: allocate and zero one hidden-state row."""
+        """Open a serving session: allocate and zero one row of state."""
         if flow_id in self._sessions:
             raise ValueError(f"flow {flow_id} already connected")
         if not self._free:
             self._grow()
         row = self._free.pop()
         self._table[row] = 0.0
+        self._last_ratio[row] = 1.0
+        self._cwnd_est[row] = 10.0
+        self._miss_streak[row] = 0
+        self._degraded[row] = False
+        self._nn_age[row] = 0
         if rng is None:
             rng = np.random.default_rng((self.config.seed, flow_id))
         self._sessions[flow_id] = _FlowSession(row, rng)
 
     def close(self, flow_id: int) -> None:
-        """End a session: recycle its hidden-state row."""
+        """End a session: recycle its state row."""
         sess = self._sessions.pop(flow_id, None)
         if sess is None:
             raise KeyError(f"flow {flow_id} not connected")
@@ -185,10 +212,23 @@ class PolicyServer:
         self._free.append(sess.row)
 
     def _grow(self) -> None:
-        old = self._table
-        self._table = np.zeros((2 * len(old), self._hdim))
-        self._table[: len(old)] = old
-        self._free.extend(range(2 * len(old) - 1, len(old) - 1, -1))
+        old_cap = len(self._table)
+        new_cap = 2 * old_cap
+
+        def _double(col: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=col.dtype)
+            out[:old_cap] = col
+            return out
+
+        table = np.zeros((new_cap, self._hdim))
+        table[:old_cap] = self._table
+        self._table = table
+        self._last_ratio = _double(self._last_ratio, 1.0)
+        self._cwnd_est = _double(self._cwnd_est, 10.0)
+        self._miss_streak = _double(self._miss_streak, 0)
+        self._degraded = _double(self._degraded, False)
+        self._nn_age = _double(self._nn_age, 0)
+        self._free.extend(range(new_cap - 1, old_cap - 1, -1))
 
     # ------------------------------------------------------------------
     # the tick scheduler
@@ -206,25 +246,91 @@ class PolicyServer:
         self._pending[flow_id] = (np.asarray(state, dtype=np.float64), cwnd)
 
     def tick(self) -> Dict[int, ServeDecision]:
-        """Run one control interval: batch all pending states, decide all.
+        """Run one control interval: route all pending flows, decide all.
 
-        The whole batch shares one forward pass and therefore one deadline
-        verdict; per-flow miss streaks and degradation remain individual
-        (flows join and leave batches at different times).
+        Tier 0 (symbolic) answers every confident flow in one vectorized
+        tree walk; the remainder shares one batched NN forward and
+        therefore one deadline verdict. Per-flow miss streaks and
+        degradation remain individual (flows join and leave batches at
+        different times).
         """
         if not self._pending:
             return {}
         pending, self._pending = self._pending, {}
         flow_ids = list(pending)
         sessions = [self._sessions[f] for f in flow_ids]
+        rows = np.fromiter((s.row for s in sessions), dtype=np.int64,
+                           count=len(sessions))
         raw = np.stack([pending[f][0] for f in flow_ids])
 
         x = normalize_state(raw)
         if self.config.state_mask is not None:
             x = x * self.config.state_mask
 
+        # resync window estimates from the senders' cwnd hints
+        hints = np.array(
+            [np.nan if pending[f][1] is None else float(pending[f][1])
+             for f in flow_ids]
+        )
+        hinted = ~np.isnan(hints)
+        if hinted.any():
+            self._cwnd_est[rows[hinted]] = hints[hinted]
+
+        decisions: Dict[int, ServeDecision] = {}
+
+        # -- tier 0: the distilled symbolic fast path ---------------------
+        if self.distilled is not None:
+            t0 = self.clock()
+            h_rows = self._table[rows] if self._hdim else None
+            sym_ratios, confs = self.distilled.predict(x, h_rows)
+            cfg = self.config
+            thr = (cfg.confidence_threshold
+                   if cfg.confidence_threshold is not None
+                   else self.distilled.conf_threshold)
+            refresh = (cfg.refresh_every if cfg.refresh_every is not None
+                       else self.distilled.refresh_every)
+            sym_mask = (
+                (confs >= thr)
+                & (self._nn_age[rows] + 1 < refresh)
+                & np.isfinite(sym_ratios)
+                & (sym_ratios > 0)
+            )
+            sym_elapsed = self.clock() - t0
+            n_sym = int(np.count_nonzero(sym_mask))
+            if n_sym:
+                srows = rows[sym_mask]
+                ratios_s = sym_ratios[sym_mask]
+                # a symbolic answer is fresh: it clears deadline debt
+                self._miss_streak[srows] = 0
+                self._degraded[srows] = False
+                self._nn_age[srows] += 1
+                self._last_ratio[srows] = ratios_s
+                self._cwnd_est[srows] = np.clip(
+                    self._cwnd_est[srows] * ratios_s, 1.0, 4096.0
+                )
+                self.metrics.record_tier_latency("symbolic", sym_elapsed)
+                self.metrics.record_decisions("symbolic", n_sym)
+                for i in np.nonzero(sym_mask)[0]:
+                    fid = flow_ids[i]
+                    sessions[i].fallback = None
+                    decisions[fid] = ServeDecision(
+                        flow_id=fid,
+                        ratio=float(sym_ratios[i]),
+                        source="symbolic",
+                        latency_s=sym_elapsed,
+                        batch_size=n_sym,
+                    )
+            nn_idx = np.nonzero(~sym_mask)[0]
+            if len(nn_idx) == 0:
+                return decisions
+        else:
+            nn_idx = np.arange(len(flow_ids))
+
+        # -- tier 1: the batched NN forward -------------------------------
+        nn_sessions = [sessions[i] for i in nn_idx]
+        x_nn = x[nn_idx] if len(nn_idx) < len(flow_ids) else x
         t0 = self.clock()
-        ratios, h_next = self._forward(x, sessions)
+        ratios, h_next = self._forward(x_nn, nn_sessions)
         if self._chaos is not None:
             # inside the timed region: a serve.slow fault shows up as real
             # inference latency, a serve.nan fault as poisoned outputs
@@ -233,60 +339,48 @@ class PolicyServer:
             )
         elapsed = self.clock() - t0
         self._tick_index += 1
-        self._commit_hidden(sessions, h_next)
+        self._commit_hidden(nn_sessions, h_next)
+        self._nn_age[rows[nn_idx]] = 0
 
         budget = self.config.tick_budget
         missed = budget is not None and elapsed > budget
-        self.metrics.record_tick(len(flow_ids), elapsed, missed)
+        self.metrics.record_tick(len(nn_idx), elapsed, missed)
 
-        decisions: Dict[int, ServeDecision] = {}
-        for i, (fid, sess) in enumerate(zip(flow_ids, sessions)):
-            cwnd_hint = pending[fid][1]
-            if cwnd_hint is not None:
-                sess.cwnd_est = float(cwnd_hint)
+        # -- tier 1/2 per-flow commit (NN, stale, or heuristic) -----------
+        n_batch = len(nn_idx)
+        for j, i in enumerate(nn_idx):
+            fid = flow_ids[i]
+            sess = sessions[i]
+            row = sess.row
             if not missed:
-                value = float(ratios[i])
+                value = float(ratios[j])
                 if np.isfinite(value):
-                    sess.miss_streak = 0
-                    sess.degraded = False
+                    self._miss_streak[row] = 0
+                    self._degraded[row] = False
                     sess.fallback = None
                     ratio, source = value, "policy"
                 else:
                     # a non-finite ratio must never reach a sender's cwnd:
                     # route this decision through the heuristic instead
                     self.metrics.invalid_actions += 1
-                    if sess.fallback is None:
-                        sess.fallback = make_fallback(self.config.fallback)
-                    ratio = float(
-                        sess.fallback.ratio(
-                            raw[i], sess.cwnd_est, self.config.tick_interval
-                        )
-                    )
-                    source = "heuristic"
+                    ratio, source = self._heuristic_ratio(sess, raw[i]), "heuristic"
             else:
-                sess.miss_streak += 1
-                if sess.miss_streak >= self.config.max_misses:
-                    if not sess.degraded:
-                        sess.degraded = True
-                        sess.fallback = make_fallback(self.config.fallback)
-                    ratio = float(
-                        sess.fallback.ratio(
-                            raw[i], sess.cwnd_est, self.config.tick_interval
-                        )
-                    )
-                    source = "heuristic"
+                self._miss_streak[row] += 1
+                if self._miss_streak[row] >= self.config.max_misses:
+                    self._degraded[row] = True
+                    ratio, source = self._heuristic_ratio(sess, raw[i]), "heuristic"
                 else:
                     # late result discarded: hold the previous cwnd ratio
-                    ratio, source = sess.last_ratio, "stale"
-            sess.last_ratio = ratio
-            sess.cwnd_est = min(max(sess.cwnd_est * ratio, 1.0), 4096.0)
+                    ratio, source = float(self._last_ratio[row]), "stale"
+            self._last_ratio[row] = ratio
+            self._cwnd_est[row] = min(max(self._cwnd_est[row] * ratio, 1.0), 4096.0)
             self.metrics.record_decision(source)
             decisions[fid] = ServeDecision(
                 flow_id=fid,
                 ratio=ratio,
                 source=source,
                 latency_s=elapsed,
-                batch_size=len(flow_ids),
+                batch_size=n_batch,
             )
         return decisions
 
@@ -298,6 +392,19 @@ class PolicyServer:
         return self.tick()[flow_id]
 
     # ------------------------------------------------------------------
+    def _heuristic_ratio(self, sess: _FlowSession, raw_state: np.ndarray) -> float:
+        """One tier-2 decision: lazily build and time the flow's fallback."""
+        if sess.fallback is None:
+            sess.fallback = make_fallback(self.config.fallback)
+        t0 = self.clock()
+        ratio = float(
+            sess.fallback.ratio(
+                raw_state, self._cwnd_est[sess.row], self.config.tick_interval
+            )
+        )
+        self.metrics.record_tier_latency("heuristic", self.clock() - t0)
+        return ratio
+
     def _forward(
         self, x: np.ndarray, sessions: List[_FlowSession]
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:

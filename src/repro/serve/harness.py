@@ -84,18 +84,20 @@ def run_served_flows(
     serve_config: Optional[ServeConfig] = None,
     server: Optional[PolicyServer] = None,
     windows: Optional[WindowConfig] = None,
+    distilled=None,
 ) -> MultiFlowResult:
     """Drive ``n_flows`` Sage senders through one shared policy server.
 
     ``server`` overrides construction (e.g. to inject a slow policy or a
-    fake clock); otherwise one is built from ``serve_config``.
+    fake clock); otherwise one is built from ``serve_config``, with
+    ``distilled`` optionally mounted as the symbolic tier.
     """
     cfg = config if config is not None else MultiFlowConfig()
     if server is None:
         sc = serve_config if serve_config is not None else ServeConfig(
             tick_interval=cfg.tick
         )
-        server = PolicyServer(policy, sc)
+        server = PolicyServer(policy, sc, distilled=distilled)
 
     env = cfg.env()
     loop, network = build_network(env)

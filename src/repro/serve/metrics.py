@@ -1,9 +1,18 @@
-"""Serving metrics: inference latency, batch sizes, fallback rates.
+"""Serving metrics: inference latency, batch sizes, per-tier accounting.
 
-The serving engine records one sample per scheduler tick (one batched
-forward) plus per-decision outcome counters. ``snapshot()`` renders the
-JSON-able summary that ``BENCH_serve.json``, the CLI, and the harness
-report.
+The serving engine records one sample per NN forward (one batched tick)
+plus per-decision outcome counters. With the tiered router, decisions also
+roll up into **tiers**:
+
+- tier 0 (``symbolic``): answered by the distilled tree's fast path;
+- tier 1 (``nn``): the batched NN forward — both fresh ``policy`` answers
+  and ``stale`` holds (a stale decision is the NN tier missing its
+  deadline, not a different answerer);
+- tier 2 (``heuristic``): the CUBIC/AIMD fallback.
+
+``snapshot()`` renders the JSON-able summary that ``BENCH_serve.json``,
+the CLI, and the harness report. ``invalid_actions`` keeps its historical
+meaning: non-finite policy outputs caught before they reach a sender.
 """
 
 from __future__ import annotations
@@ -13,14 +22,20 @@ from typing import Dict, List
 import numpy as np
 
 #: decision provenance labels, in reporting order
-SOURCES = ("policy", "stale", "heuristic")
+SOURCES = ("policy", "symbolic", "stale", "heuristic")
+
+#: router tiers, in reporting order (sources roll up into these)
+TIERS = ("symbolic", "nn", "heuristic")
+
+#: tiers that carry their own latency samples ("nn" reuses the tick timer)
+_TIER_LATENCY_KEYS = ("symbolic", "heuristic")
 
 
 class ServingMetrics:
     """Rolling counters for one :class:`~repro.serve.engine.PolicyServer`."""
 
     __slots__ = ("latencies_s", "batch_hist", "sources", "ticks", "decisions",
-                 "deadline_misses", "invalid_actions")
+                 "deadline_misses", "invalid_actions", "tier_latencies_s")
 
     def __init__(self) -> None:
         self.latencies_s: List[float] = []
@@ -30,6 +45,9 @@ class ServingMetrics:
         self.decisions = 0
         self.deadline_misses = 0  # ticks whose forward blew the budget
         self.invalid_actions = 0  # non-finite policy outputs caught pre-apply
+        self.tier_latencies_s: Dict[str, List[float]] = {
+            k: [] for k in _TIER_LATENCY_KEYS
+        }
 
     # ------------------------------------------------------------------
     def record_tick(
@@ -45,21 +63,67 @@ class ServingMetrics:
         self.sources[source] += 1
         self.decisions += 1
 
+    def record_decisions(self, source: str, n: int) -> None:
+        """Bulk :meth:`record_decision` (the symbolic tier commits in batch)."""
+        self.sources[source] += n
+        self.decisions += n
+
+    def record_tier_latency(self, tier: str, latency_s: float) -> None:
+        """One latency sample for a non-NN tier ("symbolic" / "heuristic")."""
+        self.tier_latencies_s[tier].append(latency_s)
+
     # ------------------------------------------------------------------
     def latency_percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             return 0.0
         return float(np.percentile(self.latencies_s, q)) * 1e3
 
+    def tier_latency_percentile_ms(self, tier: str, q: float) -> float:
+        """Latency percentile for one tier; "nn" maps to the tick timer."""
+        if tier == "nn":
+            return self.latency_percentile_ms(q)
+        samples = self.tier_latencies_s[tier]
+        if not samples:
+            return 0.0
+        return float(np.percentile(samples, q)) * 1e3
+
+    @property
+    def tier_decisions(self) -> Dict[str, int]:
+        """Decision counts rolled up by router tier."""
+        return {
+            "symbolic": self.sources["symbolic"],
+            "nn": self.sources["policy"] + self.sources["stale"],
+            "heuristic": self.sources["heuristic"],
+        }
+
+    @property
+    def symbolic_hit_rate(self) -> float:
+        """Fraction of all decisions answered by the tier-0 fast path."""
+        if self.decisions == 0:
+            return 0.0
+        return self.sources["symbolic"] / self.decisions
+
     @property
     def fallback_rate(self) -> float:
-        """Fraction of decisions not served fresh from the policy."""
+        """Fraction of decisions not served fresh from the policy tiers."""
         if self.decisions == 0:
             return 0.0
         return (self.sources["stale"] + self.sources["heuristic"]) / self.decisions
 
     def snapshot(self) -> dict:
         """JSON-able summary of everything recorded so far."""
+        tiers = {}
+        counts = self.tier_decisions
+        for tier in TIERS:
+            tiers[tier] = {
+                "decisions": counts[tier],
+                "latency_p50_ms": round(
+                    self.tier_latency_percentile_ms(tier, 50.0), 4
+                ),
+                "latency_p99_ms": round(
+                    self.tier_latency_percentile_ms(tier, 99.0), 4
+                ),
+            }
         return {
             "ticks": self.ticks,
             "decisions": self.decisions,
@@ -69,5 +133,7 @@ class ServingMetrics:
             "latency_p99_ms": round(self.latency_percentile_ms(99.0), 4),
             "batch_hist": {str(k): v for k, v in sorted(self.batch_hist.items())},
             "sources": dict(self.sources),
+            "tiers": tiers,
+            "symbolic_hit_rate": round(self.symbolic_hit_rate, 6),
             "fallback_rate": round(self.fallback_rate, 6),
         }

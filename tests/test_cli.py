@@ -69,6 +69,43 @@ class TestParser:
         args = build_parser().parse_args(["collect", "--task-timeout", "30"])
         assert args.task_timeout == 30.0
 
+    def test_serve_bench_tiers_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--tiers", "--coverage", "0.9", "--refresh",
+             "16", "--no-league"]
+        )
+        assert args.tiers and args.coverage == 0.9
+        assert args.refresh == 16 and args.no_league
+        args = build_parser().parse_args(["serve-bench"])
+        assert not args.tiers  # tiered section is opt-in
+
+    def test_distill_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distill"])
+
+    def test_distill_fit_args(self):
+        args = build_parser().parse_args(
+            ["distill", "fit", "--agent", "sage.npz", "--pool", "pool.npz",
+             "--out", "tree.npz", "--coverage", "0.9", "--refresh", "16",
+             "--max-depth", "8", "--rules", "5"]
+        )
+        assert args.agent == "sage.npz" and args.pool == "pool.npz"
+        assert args.out == "tree.npz" and args.coverage == 0.9
+        assert args.refresh == 16 and args.max_depth == 8 and args.rules == 5
+
+    def test_distill_fit_requires_agent_and_pool(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distill", "fit", "--agent", "a.npz"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["distill", "fit", "--pool", "p.npz"])
+
+    def test_distill_eval_args(self):
+        args = build_parser().parse_args(
+            ["distill", "eval", "--model", "tree.npz", "--agent", "sage.npz",
+             "--pool", "pool.npz", "--max-samples", "500"]
+        )
+        assert args.model == "tree.npz" and args.max_samples == 500
+
 
 class TestEndToEnd:
     def test_collect_train_deploy(self, tmp_path, capsys):

@@ -361,7 +361,13 @@ class TestMetrics:
         assert snap["ticks"] == 2 and snap["decisions"] == 4
         assert snap["deadline_misses"] == 1
         assert snap["batch_hist"] == {"2": 1, "4": 1}
-        assert snap["sources"] == {"policy": 2, "stale": 1, "heuristic": 1}
+        assert snap["sources"] == {
+            "policy": 2, "symbolic": 0, "stale": 1, "heuristic": 1
+        }
+        assert snap["tiers"]["nn"]["decisions"] == 3
+        assert snap["tiers"]["symbolic"]["decisions"] == 0
+        assert snap["tiers"]["heuristic"]["decisions"] == 1
+        assert snap["symbolic_hit_rate"] == 0.0
         assert snap["fallback_rate"] == pytest.approx(0.5)
         assert snap["latency_p50_ms"] == pytest.approx(2.0)
 
@@ -419,3 +425,189 @@ class TestSageAgentClient:
         poked = base.copy()
         poked[5] = 100.0
         assert agent.act(poked) == pytest.approx(r1)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: the tiered router (symbolic tier 0 in front of the batched NN)
+# ---------------------------------------------------------------------------
+
+
+def make_leaf_tree(value: float, conf: float):
+    """A single-leaf tree: answers ``exp(value)`` with fixed confidence."""
+    from repro.distill import FEATURE_DIM
+    from repro.distill.tree import RegressionTree
+
+    return RegressionTree(
+        feature=np.array([-1]), threshold=np.array([0.0]),
+        left=np.array([-1]), right=np.array([-1]),
+        value=np.array([value]), conf=np.array([conf]),
+        n_features=FEATURE_DIM, depth=0,
+    )
+
+
+def make_split_tree(feature: int, threshold: float, conf_low: float,
+                    conf_high: float, value: float = 0.0):
+    """Depth-1 tree: rows with x[feature] <= threshold get ``conf_low``."""
+    from repro.distill import FEATURE_DIM
+    from repro.distill.tree import RegressionTree
+
+    return RegressionTree(
+        feature=np.array([feature, -1, -1]),
+        threshold=np.array([threshold, 0.0, 0.0]),
+        left=np.array([1, -1, -1]), right=np.array([2, -1, -1]),
+        value=np.array([0.0, value, value]),
+        conf=np.array([1.0, conf_low, conf_high]),
+        n_features=FEATURE_DIM, depth=1,
+    )
+
+
+class TestTieredRouter:
+    def _distilled(self, tree, threshold=0.5, refresh=1000):
+        from repro.distill import DistilledPolicy
+
+        return DistilledPolicy(
+            tree, conf_threshold=threshold, refresh_every=refresh
+        )
+
+    def _run(self, policy, distilled, flows=6, ticks=12, seed=0, **cfg_kwargs):
+        cfg = ServeConfig(
+            deterministic=True, tick_budget=None, seed=seed, **cfg_kwargs
+        )
+        server = PolicyServer(policy, cfg, distilled=distilled)
+        rng = np.random.default_rng(seed)
+        states = rng.standard_normal((ticks, flows, STATE_DIM)) * 50
+        for i in range(flows):
+            server.connect(i)
+        stream = []
+        for t in range(ticks):
+            for i in range(flows):
+                server.submit(i, states[t, i])
+            stream.append(server.tick())
+        return server, stream
+
+    def test_nn_decisions_bitwise_identical_when_tier_disabled(self, policy):
+        """Satellite: gate shut (threshold > 1) == no symbolic tier at all."""
+        never_passes = self._distilled(make_leaf_tree(0.0, conf=0.9),
+                                       threshold=2.0)
+        _, with_tier = self._run(policy, never_passes)
+        _, without = self._run(policy, None)
+        for d_tier, d_none in zip(with_tier, without):
+            assert set(d_tier) == set(d_none)
+            for fid in d_tier:
+                assert d_tier[fid].ratio == d_none[fid].ratio
+                assert d_tier[fid].source == d_none[fid].source
+
+    def test_confident_flows_answered_symbolically(self, policy):
+        distilled = self._distilled(make_leaf_tree(0.1, conf=0.9))
+        server, stream = self._run(policy, distilled)
+        # tick 1: everyone takes the NN (ages start at the refresh wall's
+        # worth of history only after the first forward)... the leaf gate
+        # passes from the first tick, so all decisions are symbolic
+        for decisions in stream:
+            for d in decisions.values():
+                assert d.source == "symbolic"
+                assert d.ratio == pytest.approx(np.exp(0.1))
+        snap = server.metrics.snapshot()
+        assert snap["symbolic_hit_rate"] == 1.0
+        assert snap["tiers"]["nn"]["decisions"] == 0
+
+    def test_uncertainty_gate_property(self, policy):
+        """A flow whose leaf confidence is below threshold never gets a
+        tree answer — it always pays the NN forward."""
+        # split on the first *state* feature, so each flow's leaf (and
+        # therefore its confidence) is computable from the submitted state
+        tree = make_split_tree(0, 0.0, conf_low=0.2, conf_high=0.95)
+        distilled = self._distilled(tree, threshold=0.5)
+        cfg = ServeConfig(deterministic=True, tick_budget=None, seed=0)
+        server = PolicyServer(policy, cfg, distilled=distilled)
+        rng = np.random.default_rng(0)
+        flows, ticks = 8, 20
+        states = rng.standard_normal((ticks, flows, STATE_DIM)) * 50
+        for i in range(flows):
+            server.connect(i)
+        saw_low, saw_sym = 0, 0
+        for t in range(ticks):
+            for i in range(flows):
+                server.submit(i, states[t, i])
+            decisions = server.tick()
+            for i, d in decisions.items():
+                below = normalize_state(states[t, i])[0] <= 0.0
+                if below:
+                    saw_low += 1
+                    assert d.source != "symbolic", (
+                        f"below-threshold flow {i} answered by the tree "
+                        f"at tick {t}"
+                    )
+                if d.source == "symbolic":
+                    saw_sym += 1
+                    assert not below
+        # the property must actually have been exercised from both sides
+        assert saw_low > 0 and saw_sym > 0
+
+    def test_refresh_forces_periodic_nn_forward(self, policy):
+        """Even an always-confident tree yields to the NN every R ticks."""
+        refresh = 4
+        distilled = self._distilled(make_leaf_tree(0.0, conf=0.99),
+                                    refresh=refresh)
+        _, stream = self._run(policy, distilled, flows=3, ticks=12)
+        for fid in range(3):
+            sources = [ds[fid].source for ds in stream]
+            for start in range(0, 12, refresh):
+                window = sources[start : start + refresh]
+                assert "policy" in window, (
+                    f"flow {fid} went {refresh} ticks without an NN refresh: "
+                    f"{sources}"
+                )
+
+    def test_symbolic_answers_advance_cwnd_estimate(self, policy):
+        """Tier-0 ratio commits update the fallback's cwnd estimate."""
+        distilled = self._distilled(make_leaf_tree(0.2, conf=0.9))
+        cfg = ServeConfig(deterministic=True, tick_budget=None)
+        server = PolicyServer(policy, cfg, distilled=distilled)
+        server.connect(0)
+        server.submit(0, np.zeros(STATE_DIM), cwnd=100.0)
+        server.tick()
+        row = server._sessions[0].row
+        assert server._cwnd_est[row] == pytest.approx(100.0 * np.exp(0.2))
+
+    def test_metrics_tier_accounting(self, policy):
+        distilled = self._distilled(make_leaf_tree(0.0, conf=0.9),
+                                    refresh=4)
+        server, stream = self._run(policy, distilled, flows=4, ticks=8)
+        snap = server.metrics.snapshot()
+        assert snap["decisions"] == 32
+        tiers = snap["tiers"]
+        assert tiers["symbolic"]["decisions"] + tiers["nn"]["decisions"] == 32
+        assert tiers["symbolic"]["decisions"] > 0
+        assert tiers["nn"]["decisions"] > 0  # refresh forwards
+        assert snap["invalid_actions"] == 0
+        # symbolic tier records its own latency samples
+        assert tiers["symbolic"]["latency_p50_ms"] >= 0.0
+
+    def test_served_agent_accepts_distilled(self, policy):
+        from repro.serve.client import ServedAgent
+
+        distilled = self._distilled(make_leaf_tree(0.05, conf=0.9))
+        agent = ServedAgent(policy, deterministic=True, distilled=distilled)
+        agent.reset()
+        ratio = agent.act(np.zeros(STATE_DIM))
+        assert ratio == pytest.approx(np.exp(0.05))
+        assert agent.server.distilled is distilled
+
+    def test_non_finite_symbolic_ratio_goes_to_nn(self, policy):
+        """A poisoned tree value must never be served; the NN answers."""
+        distilled = self._distilled(make_leaf_tree(np.nan, conf=0.99))
+        _, stream = self._run(policy, distilled, flows=3, ticks=4)
+        for ds in stream:
+            for d in ds.values():
+                assert d.source == "policy"
+                assert np.isfinite(d.ratio)
+
+    def test_config_overrides_beat_distilled_defaults(self, policy):
+        distilled = self._distilled(make_leaf_tree(0.0, conf=0.6),
+                                    threshold=0.5, refresh=1000)
+        # override: impossible threshold -> no symbolic answers at all
+        server, stream = self._run(
+            policy, distilled, confidence_threshold=0.99
+        )
+        assert server.metrics.snapshot()["symbolic_hit_rate"] == 0.0
