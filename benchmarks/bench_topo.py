@@ -1,0 +1,194 @@
+"""Throughput and determinism of the topology + open-loop workload engine.
+
+Three sections, written to ``BENCH_topo.json``:
+
+- **determinism** — the same seed reproduces the same arrival schedule and
+  the same flow-completion-time distribution, twice over;
+- **raw workload** — flow arrivals processed per wall-clock second when a
+  kernel scheme (cubic) drives thousands of short flows through a
+  parking-lot topology (simulation-only ceiling);
+- **served workload** — the same figure through the full serving path:
+  topology simulation + GR feature extraction + one batched policy forward
+  per control tick + cwnd enforcement (the ISSUE target: >= 1k arrivals/s).
+
+Runs two ways:
+
+- standalone: ``PYTHONPATH=src python benchmarks/bench_topo.py`` (``--tiny``
+  for the CI smoke run);
+- under pytest-benchmark with the rest of the bench suite:
+  ``pytest benchmarks/bench_topo.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.networks import NetworkConfig, SagePolicy  # noqa: E402
+from repro.netsim.topo import parking_lot_topology  # noqa: E402
+from repro.serve.harness import (  # noqa: E402
+    WorkloadServeConfig,
+    run_served_workload,
+)
+from repro.workload import (  # noqa: E402
+    WorkloadConfig,
+    generate_schedule,
+    run_workload,
+    schedule_digest,
+)
+
+OUT_PATH = REPO / "BENCH_topo.json"
+
+#: compact policy for the serving section — serving cost, not model size,
+#: is what this bench isolates
+SERVE_NET = NetworkConfig(enc_dim=16, gru_dim=16, n_components=3, n_atoms=7)
+
+
+def bench_determinism(tiny: bool) -> dict:
+    """Same seed -> same schedule digest and same FCT distribution."""
+    cfg = WorkloadConfig(
+        arrival_rate=100.0 if tiny else 200.0,
+        duration=1.5 if tiny else 4.0,
+        mean_size_bytes=20_000.0,
+        seed=11,
+    )
+    digests = {schedule_digest(generate_schedule(cfg)) for _ in range(2)}
+    runs = [
+        run_workload(parking_lot_topology(n_segments=3), cfg)
+        for _ in range(2)
+    ]
+    return {
+        "seed": cfg.seed,
+        "schedule_digest": next(iter(digests)),
+        "schedule_deterministic": len(digests) == 1,
+        "fct_deterministic": (
+            runs[0].summary.to_json() == runs[1].summary.to_json()
+        ),
+        "n_flows": runs[0].summary.n_flows,
+    }
+
+
+def bench_raw_workload(tiny: bool) -> dict:
+    """Simulation-only arrivals/sec: cubic short flows, no policy server."""
+    cfg = WorkloadConfig(
+        arrival_rate=200.0 if tiny else 400.0,
+        duration=2.0 if tiny else 5.0,
+        mean_size_bytes=15_000.0,
+        seed=0,
+    )
+    topo = parking_lot_topology(n_segments=3, bw_mbps=48.0)
+    t0 = time.perf_counter()
+    res = run_workload(topo, cfg, drain=3.0)
+    wall = time.perf_counter() - t0
+    return {
+        "topology": "parking_lot",
+        "arrival_rate": cfg.arrival_rate,
+        "duration_s": cfg.duration,
+        "n_requests": res.n_requests,
+        "n_completed": res.summary.n_completed,
+        "peak_concurrent": res.peak_concurrent,
+        "fct_p50_ms": res.summary.to_json()["fct_p50_ms"],
+        "fct_p99_ms": res.summary.to_json()["fct_p99_ms"],
+        "elapsed_s": round(wall, 3),
+        "arrivals_per_s_wall": round(res.n_requests / wall, 1),
+    }
+
+
+def bench_served_workload(tiny: bool) -> dict:
+    """Arrivals/sec through the full serving path (the ISSUE target)."""
+    from repro.serve.bench import run_workload_bench
+
+    policy = SagePolicy(SERVE_NET, np.random.default_rng(0))
+    cfg = WorkloadServeConfig(
+        arrival_rate=200.0 if tiny else 400.0,
+        duration=2.0 if tiny else 4.0,
+        drain=2.0,
+        mean_size_bytes=15_000.0,
+        seed=0,
+    )
+    out = run_workload_bench(policy, cfg)
+    out["net"] = {"enc_dim": SERVE_NET.enc_dim, "gru_dim": SERVE_NET.gru_dim}
+    return out
+
+
+def run_bench(tiny: bool = False) -> dict:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "scale": "tiny" if tiny else "small",
+        "determinism": bench_determinism(tiny),
+        "raw_workload": bench_raw_workload(tiny),
+        "served_workload": bench_served_workload(tiny),
+    }
+
+
+def write_report(result: dict, path: Path = OUT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def print_report(result: dict) -> None:
+    d = result["determinism"]
+    raw = result["raw_workload"]
+    served = result["served_workload"]
+    print(f"\n=== topology/workload bench ({result['scale']}, "
+          f"{result['cpu_count']} cores) ===")
+    print(f"determinism: schedule={d['schedule_deterministic']} "
+          f"fct={d['fct_deterministic']} "
+          f"(digest {d['schedule_digest']}, {d['n_flows']} flows)")
+    for label, row in (("raw (cubic)", raw), ("served", served)):
+        print(f"{label:>12}: {row['n_requests']} arrivals in "
+              f"{row['elapsed_s']:.2f}s wall -> "
+              f"{row['arrivals_per_s_wall']:.0f}/s "
+              f"(FCT p50/p99 {row['fct_p50_ms']:.1f}/"
+              f"{row['fct_p99_ms']:.1f} ms)")
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry point
+# --------------------------------------------------------------------------
+
+
+def test_topo_workload_throughput(benchmark):
+    from conftest import once
+
+    result = once(benchmark, lambda: run_bench(tiny=True))
+    print_report(result)
+    write_report(result)
+    assert result["determinism"]["schedule_deterministic"]
+    assert result["determinism"]["fct_deterministic"]
+    assert result["served_workload"]["n_completed"] > 0
+    # soft floor so slow CI runners don't flake; the recorded number on a
+    # normal machine is well past the 1k/s ISSUE target
+    assert result["served_workload"]["arrivals_per_s_wall"] > 200.0
+
+
+# --------------------------------------------------------------------------
+# standalone entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke run (CI)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    result = run_bench(tiny=args.tiny)
+    print_report(result)
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,11 @@
 """FaultInjector: fires a :class:`~repro.chaos.plan.FaultPlan` into the system.
 
 One injector instance is threaded through a run — the parallel collector,
-the shard writer, the training engine, the serving engine each accept an
+the shard writer, the training engine, the serving engine, the topology
+runner (``netsim.linkflap`` via
+:func:`repro.workload.runner.apply_linkflap`), and the workload generator
+(``workload.burst`` inside
+:func:`repro.workload.generator.generate_schedule`) each accept an
 optional ``chaos`` argument and consult it at their injection points. Every
 fault is **one-shot**: once taken for its target occurrence it never fires
 again, so a retried task / replayed batch runs clean and the surrounding

@@ -52,6 +52,10 @@ SITES: Dict[str, str] = {
     "serve.nan": "replace the target tick's policy outputs (and hidden "
                  "states) with NaN",
     "serve.slow": "delay the target tick's forward pass by `param` seconds",
+    "netsim.linkflap": "take the target topology link down for `param` "
+                       "seconds, once, mid-run",
+    "workload.burst": "inject `param` extra simultaneous sessions at the "
+                      "target arrival index",
 }
 
 #: default `param` per site when :meth:`FaultPlan.generate` isn't told one
@@ -64,6 +68,8 @@ DEFAULT_PARAMS: Dict[str, float] = {
     "train.spike": 1e6,
     "serve.nan": 0.0,
     "serve.slow": 0.05,
+    "netsim.linkflap": 0.5,
+    "workload.burst": 32.0,
 }
 
 #: default target-universe size per subsystem (the `group` in
@@ -74,6 +80,8 @@ DEFAULT_UNIVERSES: Dict[str, int] = {
     "datastore": 4,
     "train": 50,
     "serve": 100,
+    "netsim": 4,
+    "workload": 256,
 }
 
 

@@ -3,10 +3,13 @@
 Usage::
 
     python -m repro collect --scale mini --out pool.npz [--store shards/]
+    python -m repro collect --topology parking_lot --out pool.npz
     python -m repro train   --pool pool.npz|shards/ --steps 300 --out sage.npz
     python -m repro league  --schemes cubic,vegas,bbr2 [--agent sage.npz --serve]
     python -m repro deploy  --agent sage.npz --bw 24 --rtt 0.04
-    python -m repro serve-bench --flows 64 [--tiers]
+    python -m repro serve-bench --flows 64 [--tiers] [--workload]
+    python -m repro topo describe parking_lot --segments 3
+    python -m repro topo matrix --schemes cubic,vegas --out matrix.json
     python -m repro distill fit  --agent sage.npz --pool pool.npz --out tree.npz
     python -m repro distill eval --model tree.npz --agent sage.npz --pool pool.npz
     python -m repro train-bench --pool pool.npz
@@ -34,13 +37,20 @@ import numpy as np
 
 
 def _cmd_collect(args) -> int:
-    from repro.collector.environments import training_environments
+    from repro.collector.environments import (
+        topology_class_environments,
+        training_environments,
+    )
     from repro.core.training import collect_pool
 
     schemes = args.schemes.split(",") if args.schemes else None
     store = args.store or None
+    if args.topology:
+        envs = topology_class_environments(args.topology)
+    else:
+        envs = training_environments(args.scale)
     pool = collect_pool(
-        training_environments(args.scale),
+        envs,
         schemes=schemes,
         progress=(lambda msg: print(msg)) if args.verbose else None,
         workers=args.workers,
@@ -157,6 +167,7 @@ def _cmd_train_bench(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from repro.core.networks import NetworkConfig
     from repro.serve.bench import format_report, run_serve_bench, write_report
+    from repro.serve.harness import WorkloadServeConfig
 
     net = NetworkConfig(
         enc_dim=args.enc_dim, gru_dim=args.gru_dim,
@@ -170,10 +181,20 @@ def _cmd_serve_bench(args) -> int:
             "with_league": not args.no_league,
             "league_duration": args.league_duration,
         }
+    workload_config = None
+    if args.workload:
+        workload_config = WorkloadServeConfig(
+            topology=args.topology,
+            arrival_rate=args.arrival_rate,
+            duration=args.workload_duration,
+            mean_size_bytes=args.mean_size_kb * 1000.0,
+            seed=args.seed,
+        )
     result = run_serve_bench(
         flows=args.flows, ticks=args.ticks, seed=args.seed, net_config=net,
         with_harness=not args.no_harness,
         tiers=args.tiers, tiers_kwargs=tiers_kwargs,
+        workload=args.workload, workload_config=workload_config,
     )
     print(format_report(result))
     write_report(result, args.out)
@@ -344,6 +365,58 @@ def _cmd_chaos_plan(args) -> int:
     return 0
 
 
+def _cmd_topo_describe(args) -> int:
+    from repro.netsim.topo import describe_topology
+
+    kwargs = {}
+    if args.bw is not None:
+        kwargs["bw_mbps"] = args.bw
+    if args.rtt is not None:
+        kwargs["min_rtt"] = args.rtt
+    if args.buffer_kb is not None:
+        kwargs["buffer_bytes"] = int(args.buffer_kb * 1000)
+    if args.segments is not None:
+        kwargs["n_segments"] = args.segments
+    if args.senders is not None:
+        kwargs["n_senders"] = args.senders
+    print(describe_topology(args.topo_class, **kwargs))
+    return 0
+
+
+def _cmd_topo_matrix(args) -> int:
+    from repro.evalx.leagues import Participant
+    from repro.evalx.topo_matrix import run_topology_matrix
+    from repro.netsim.topo import TOPOLOGY_CLASSES
+
+    classes = (
+        tuple(c for c in args.classes.split(",") if c)
+        if args.classes else TOPOLOGY_CLASSES
+    )
+    participants = [
+        Participant.from_scheme(s) for s in args.schemes.split(",") if s
+    ]
+    if args.agent:
+        agent = _load_agent(
+            args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+        )
+        if args.serve:
+            participants.append(Participant.from_served(agent.policy))
+        else:
+            participants.append(Participant.from_agent(agent))
+    matrix = run_topology_matrix(
+        participants,
+        classes=classes,
+        duration=args.duration,
+        workers=args.workers,
+        progress=(lambda msg: print(msg)) if args.verbose else None,
+    )
+    print(matrix.format_table())
+    if args.out:
+        matrix.save(args.out)
+        print(f"saved matrix to {args.out}")
+    return 0
+
+
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
     import os
 
@@ -379,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="task_timeout", metavar="SECONDS",
                    help="per-rollout watchdog deadline; hung workers are "
                         "terminated and their tasks re-dispatched")
+    p.add_argument("--topology", default="",
+                   help="collect over one topology class's env set instead "
+                        "of the dumbbell training grids (parking_lot, "
+                        "incast, proxy_split, or dumbbell)")
     p.add_argument("--verbose", action="store_true")
     _add_workers_arg(p)
     p.set_defaults(func=_cmd_collect)
@@ -561,9 +638,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--league-duration", type=float, default=10.0,
                    dest="league_duration",
                    help="per-env seconds for the league-fidelity check")
+    p.add_argument("--workload", action="store_true",
+                   help="also serve an open-loop workload (Poisson arrivals "
+                        "of short served flows) and report FCT percentiles")
+    p.add_argument("--topology", default="dumbbell",
+                   help="topology class for --workload mode")
+    p.add_argument("--arrival-rate", type=float, default=200.0,
+                   dest="arrival_rate",
+                   help="sessions/second for --workload mode")
+    p.add_argument("--workload-duration", type=float, default=5.0,
+                   dest="workload_duration",
+                   help="arrival-window seconds for --workload mode")
+    p.add_argument("--mean-size-kb", type=float, default=30.0,
+                   dest="mean_size_kb",
+                   help="mean flow size (KB) for --workload mode")
     p.add_argument("--out", default="BENCH_serve.json")
     _add_net_args(p)
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "topo",
+        help="inspect topology classes and run the scheme x topology matrix",
+    )
+    topo_sub = p.add_subparsers(dest="topo_command", required=True)
+
+    q = topo_sub.add_parser(
+        "describe", help="print a topology class's nodes, links, and paths"
+    )
+    q.add_argument("topo_class",
+                   help="dumbbell, parking_lot, incast, or proxy_split")
+    q.add_argument("--bw", type=float, default=None, help="bottleneck Mbps")
+    q.add_argument("--rtt", type=float, default=None,
+                   help="base two-way propagation delay, seconds")
+    q.add_argument("--buffer-kb", type=float, default=None, dest="buffer_kb")
+    q.add_argument("--segments", type=int, default=None,
+                   help="parking-lot segment count")
+    q.add_argument("--senders", type=int, default=None,
+                   help="incast fan-in")
+    q.set_defaults(func=_cmd_topo_describe)
+
+    q = topo_sub.add_parser(
+        "matrix",
+        help="winning-rate matrix: every scheme across every topology class",
+    )
+    q.add_argument("--schemes", default="cubic,newreno,vegas,westwood")
+    q.add_argument("--classes", default="",
+                   help="comma-separated topology classes (default: all)")
+    q.add_argument("--duration", type=float, default=12.0,
+                   help="seconds per environment rollout")
+    q.add_argument("--agent", default="",
+                   help="also enter a trained agent .npz")
+    q.add_argument("--serve", action="store_true",
+                   help="run the agent through the serving engine")
+    q.add_argument("--out", default="",
+                   help="write the matrix JSON here (the CI artifact)")
+    q.add_argument("--verbose", action="store_true")
+    _add_workers_arg(q)
+    _add_net_args(q)
+    q.set_defaults(func=_cmd_topo_matrix)
 
     p = sub.add_parser(
         "distill",

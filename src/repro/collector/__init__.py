@@ -34,8 +34,13 @@ from repro.collector.rewards import (
 from repro.collector.environments import (
     EnvConfig,
     build_network,
+    build_scenario,
+    incast_environments,
+    parking_lot_environments,
+    proxy_split_environments,
     set1_environments,
     set2_environments,
+    topology_class_environments,
     training_environments,
 )
 from repro.collector.rollout import RolloutResult, collect_trajectory, run_policy
@@ -64,8 +69,13 @@ __all__ = [
     "RewardConfig",
     "EnvConfig",
     "build_network",
+    "build_scenario",
+    "incast_environments",
+    "parking_lot_environments",
+    "proxy_split_environments",
     "set1_environments",
     "set2_environments",
+    "topology_class_environments",
     "training_environments",
     "RolloutResult",
     "collect_trajectory",

@@ -23,6 +23,13 @@ from typing import List, Optional, Tuple
 from repro.netsim.aqm import make_aqm
 from repro.netsim.engine import EventLoop
 from repro.netsim.network import Network
+from repro.netsim.topo import (
+    TOPOLOGY_CLASSES,
+    PathView,
+    incast_topology,
+    parking_lot_topology,
+    proxy_split_topology,
+)
 from repro.netsim.traces import (
     FlatRate,
     RateProcess,
@@ -51,12 +58,34 @@ class EnvConfig:
     #: optional ECN step-marking threshold, as a fraction of the BDP
     #: (taildrop only); enables DCTCP-style experiments.
     ecn_threshold_bdp: float = 0.0
+    #: graph shape: "dumbbell" (the historical single bottleneck) or one of
+    #: the :data:`~repro.netsim.topo.TOPOLOGY_CLASSES`
+    topology: str = "dumbbell"
+    #: parking lot: number of chained bottleneck segments
+    n_segments: int = 3
+    #: parking lot: competing cubic cross flows per segment
+    cross_per_segment: int = 1
+    #: incast: competing synchronized senders besides the main flow
+    n_incast: int = 0
 
     def __post_init__(self) -> None:
         if self.bw_mbps <= 0 or self.min_rtt <= 0 or self.buffer_bdp <= 0:
             raise ValueError(f"invalid environment parameters: {self}")
         if self.kind not in ("flat", "step", "cellular", "internet"):
             raise ValueError(f"unknown environment kind {self.kind!r}")
+        if self.topology not in TOPOLOGY_CLASSES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; use {TOPOLOGY_CLASSES}"
+            )
+        if self.topology != "dumbbell" and self.kind != "flat":
+            raise ValueError(
+                f"topology {self.topology!r} only supports kind='flat' "
+                f"(per-link rate processes are fixed), got {self.kind!r}"
+            )
+        if self.n_segments < 2:
+            raise ValueError("n_segments must be >= 2")
+        if self.cross_per_segment < 0 or self.n_incast < 0:
+            raise ValueError("competitor counts must be >= 0")
 
     # ------------------------------------------------------------------
     @property
@@ -68,8 +97,31 @@ class EnvConfig:
         return max(int(self.buffer_bdp * self.bdp_bytes), 3 * 1500)
 
     @property
+    def n_competitors(self) -> int:
+        """How many competing flows the scenario spawns besides the main one."""
+        if self.topology == "parking_lot":
+            return self.n_segments * self.cross_per_segment
+        if self.topology == "incast":
+            return self.n_incast
+        return self.n_competing_cubic
+
+    @property
     def is_multi_flow(self) -> bool:
-        return self.n_competing_cubic > 0
+        return self.n_competitors > 0
+
+    @property
+    def n_sharing(self) -> int:
+        """Flows sharing the main flow's tightest bottleneck (incl. itself).
+
+        This is the divisor for fair-share targets: on a parking lot only
+        the per-segment cross flows contend with the main flow at any one
+        queue; on an incast every sender meets at the fan-in egress.
+        """
+        if self.topology == "parking_lot":
+            return self.cross_per_segment + 1
+        if self.topology == "incast":
+            return self.n_incast + 1
+        return self.n_competing_cubic + 1
 
     def rate_process(self) -> RateProcess:
         if self.kind == "flat":
@@ -95,7 +147,7 @@ class EnvConfig:
 
 
 def build_network(env: EnvConfig) -> Tuple[EventLoop, Network]:
-    """Instantiate the simulator for one environment."""
+    """Instantiate the simulator for one (dumbbell) environment."""
     loop = EventLoop()
     if env.ecn_threshold_bdp > 0:
         if env.aqm.lower() not in ("taildrop", "tdrop"):
@@ -106,6 +158,70 @@ def build_network(env: EnvConfig) -> Tuple[EventLoop, Network]:
         aqm = make_aqm(env.aqm, env.buffer_bytes)
     network = Network(loop, env.rate_process(), aqm)
     return loop, network
+
+
+def build_scenario(env: EnvConfig):
+    """Instantiate any environment: ``(loop, main, competitor_views)``.
+
+    ``main`` is what the scheme under test attaches to; the list holds one
+    network-duck-typed view per competing flow, in spawn order. For
+    ``topology="dumbbell"`` this delegates to :func:`build_network` and
+    returns the very same :class:`Network` object for every slot, so the
+    constructed world — and every collected pool — is bit-identical to the
+    historical single-bottleneck code path.
+    """
+    if env.topology == "dumbbell":
+        loop, network = build_network(env)
+        return loop, network, [network] * env.n_competing_cubic
+
+    if env.topology == "parking_lot":
+        topo = parking_lot_topology(
+            n_segments=env.n_segments,
+            bw_mbps=env.bw_mbps,
+            min_rtt=env.min_rtt,
+            buffer_bytes=env.buffer_bytes,
+            aqm=env.aqm,
+        )
+        chain = tuple(f"r{i}" for i in range(env.n_segments + 1))
+        main = topo.view(chain)
+        competitors: List[PathView] = []
+        for seg in range(env.n_segments):
+            for _ in range(env.cross_per_segment):
+                competitors.append(topo.view((f"r{seg}", f"r{seg + 1}")))
+        return topo.loop, main, competitors
+
+    if env.topology == "incast":
+        ecn = 0
+        if env.ecn_threshold_bdp > 0:
+            ecn = max(int(env.ecn_threshold_bdp * env.bdp_bytes), 1500)
+        topo = incast_topology(
+            n_senders=env.n_incast + 1,
+            bw_mbps=env.bw_mbps,
+            min_rtt=env.min_rtt,
+            buffer_bytes=env.buffer_bytes,
+            aqm=env.aqm,
+            ecn_threshold_bytes=ecn,
+        )
+        main = topo.view(("s0", "sw", "rcv"))
+        competitors = [
+            topo.view((f"s{i + 1}", "sw", "rcv")) for i in range(env.n_incast)
+        ]
+        return topo.loop, main, competitors
+
+    # proxy_split: bw_mbps/min_rtt describe the WAN segment; the LAN behind
+    # the proxy runs 4x faster with a fifth of the delay.
+    topo = proxy_split_topology(
+        wan_bw_mbps=env.bw_mbps,
+        lan_bw_mbps=env.bw_mbps * 4.0,
+        wan_rtt=env.min_rtt * 0.8,
+        lan_rtt=env.min_rtt * 0.2,
+        wan_buffer_bytes=env.buffer_bytes,
+        lan_buffer_bytes=env.buffer_bytes * 2,
+        aqm=env.aqm,
+    )
+    main = topo.view(("snd", "proxy", "rcv"))
+    competitors = [main] * env.n_competing_cubic
+    return topo.loop, main, competitors
 
 
 # --------------------------------------------------------------------------
@@ -227,3 +343,120 @@ def training_environments(scale: str = "mini") -> List[EnvConfig]:
             )
         )
     raise ValueError(f"unknown scale {scale!r}; use mini/small/full")
+
+
+# --------------------------------------------------------------------------
+# Topology environment families (beyond the dumbbell)
+# --------------------------------------------------------------------------
+
+def parking_lot_environments(
+    bws: Tuple[float, ...] = (24.0, 48.0),
+    rtts: Tuple[float, ...] = (0.04,),
+    segments: Tuple[int, ...] = (3,),
+    cross: Tuple[int, ...] = (1,),
+    buffer_bdp: float = 2.0,
+    duration: float = 20.0,
+) -> List[EnvConfig]:
+    """Multi-bottleneck chains with cubic cross traffic on every segment."""
+    envs: List[EnvConfig] = []
+    for bw, rtt, n_seg, n_cross in itertools.product(bws, rtts, segments, cross):
+        envs.append(
+            EnvConfig(
+                env_id=f"plot-bw{bw:g}-rtt{rtt * 1000:g}-s{n_seg}-x{n_cross}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buffer_bdp,
+                duration=duration,
+                topology="parking_lot",
+                n_segments=n_seg,
+                cross_per_segment=n_cross,
+            )
+        )
+    return envs
+
+
+def incast_environments(
+    bws: Tuple[float, ...] = (48.0, 96.0),
+    rtts: Tuple[float, ...] = (0.010,),
+    fan_in: Tuple[int, ...] = (7, 15),
+    buffers: Tuple[float, ...] = (0.5,),
+    duration: float = 10.0,
+) -> List[EnvConfig]:
+    """Datacenter fan-in: N+1 synchronized senders, one shallow egress."""
+    envs: List[EnvConfig] = []
+    for bw, rtt, n, buf in itertools.product(bws, rtts, fan_in, buffers):
+        envs.append(
+            EnvConfig(
+                env_id=f"incast-bw{bw:g}-rtt{rtt * 1000:g}-n{n + 1}-q{buf:g}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buf,
+                duration=duration,
+                topology="incast",
+                n_incast=n,
+            )
+        )
+    return envs
+
+
+def proxy_split_environments(
+    bws: Tuple[float, ...] = (24.0,),
+    rtts: Tuple[float, ...] = (0.080, 0.160),
+    buffers: Tuple[float, ...] = (2.0,),
+    n_competing: Tuple[int, ...] = (0, 1),
+    duration: float = 20.0,
+) -> List[EnvConfig]:
+    """Heterogeneous WAN+LAN segments through a proxy (split-connection)."""
+    envs: List[EnvConfig] = []
+    for bw, rtt, buf, n in itertools.product(bws, rtts, buffers, n_competing):
+        envs.append(
+            EnvConfig(
+                env_id=f"proxy-bw{bw:g}-rtt{rtt * 1000:g}-q{buf:g}-c{n}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buf,
+                n_competing_cubic=n,
+                duration=duration,
+                topology="proxy_split",
+            )
+        )
+    return envs
+
+
+def topology_class_environments(
+    topo_class: str, duration: float = 12.0
+) -> List[EnvConfig]:
+    """A small representative env set for one topology class.
+
+    The league winning-rate matrix (scheme x topology class) evaluates each
+    participant over these; ``dumbbell`` reuses a slice of Set I + Set II.
+    """
+    name = topo_class.replace("-", "_")
+    if name == "dumbbell":
+        return (
+            set1_environments(
+                bws=(24.0, 96.0), rtts=(0.04,), buffers=(2.0,),
+                include_steps=False, duration=duration,
+            )
+            + set2_environments(
+                bws=(24.0,), rtts=(0.04,), buffers=(4.0,), duration=duration
+            )
+        )
+    if name == "parking_lot":
+        return parking_lot_environments(
+            bws=(24.0, 48.0), segments=(3,), cross=(1,), duration=duration
+        )
+    if name == "incast":
+        return incast_environments(
+            bws=(48.0,), fan_in=(7, 15), duration=min(duration, 10.0)
+        )
+    if name == "proxy_split":
+        return proxy_split_environments(
+            bws=(24.0,), rtts=(0.080,), n_competing=(0, 1), duration=duration
+        )
+    raise ValueError(
+        f"unknown topology class {topo_class!r}; use {TOPOLOGY_CLASSES}"
+    )

@@ -20,7 +20,7 @@ from typing import List, Optional, Protocol
 
 import numpy as np
 
-from repro.collector.environments import EnvConfig, build_network
+from repro.collector.environments import EnvConfig, build_scenario
 from repro.collector.gr_unit import GRUnit, STATE_DIM, WindowConfig
 from repro.collector.rewards import (
     RewardConfig,
@@ -73,7 +73,7 @@ def _reward_for(
     delivered_bps = (flow.receiver.total_bytes - prev_bytes) * 8.0 / interval
     lost_bps = (flow.sender.lost_bytes - prev_lost) * 8.0 / interval
     if env.is_multi_flow:
-        fair = env.fair_share_bps(env.n_competing_cubic + 1)
+        fair = env.fair_share_bps(env.n_sharing)
         return friendliness_reward(delivered_bps, fair, config)
     capacity = env.mean_capacity_bps()
     delay = flow.sender.srtt_or_min or env.min_rtt
@@ -90,12 +90,12 @@ def _run(
     rewards: RewardConfig,
     tick: float,
 ) -> RolloutResult:
-    loop, network = build_network(env)
+    loop, network, competitor_views = build_scenario(env)
 
     competitors: List[Flow] = []
-    for i in range(env.n_competing_cubic):
+    for i, view in enumerate(competitor_views):
         competitors.append(
-            Flow(network, flow_id=100 + i, scheme="cubic", min_rtt=env.min_rtt)
+            Flow(view, flow_id=100 + i, scheme="cubic", min_rtt=env.min_rtt)
         )
     flow = Flow(
         network,

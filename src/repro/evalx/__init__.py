@@ -54,6 +54,11 @@ from repro.evalx.dynamics import (
     frontier_experiment,
     MultiFlowResult,
 )
+from repro.evalx.topo_matrix import (
+    DEFAULT_MATRIX_SCHEMES,
+    TopologyMatrix,
+    run_topology_matrix,
+)
 from repro.evalx.tsne import tsne
 from repro.evalx.plotting import ascii_scatter, ascii_timeseries, plot_flow_throughput
 from repro.evalx.reporting import markdown_table, save_csv
@@ -88,6 +93,9 @@ __all__ = [
     "aqm_experiment",
     "frontier_experiment",
     "MultiFlowResult",
+    "DEFAULT_MATRIX_SCHEMES",
+    "TopologyMatrix",
+    "run_topology_matrix",
     "tsne",
     "ascii_scatter",
     "ascii_timeseries",

@@ -72,7 +72,7 @@ def interval_scores(
         mean_thr = float(thr[idx].mean())
         if multi:
             fair = fair_share_bps or result.env.fair_share_bps(
-                result.env.n_competing_cubic + 1
+                result.env.n_sharing
             )
             score = friendliness_score(mean_thr, fair)
             higher = False

@@ -16,6 +16,9 @@ The public surface:
   Internet-path).
 - :class:`~repro.netsim.network.Network` — wires senders, the bottleneck,
   and receivers together.
+- :mod:`~repro.netsim.topo` — the graph engine underneath: multi-node
+  topologies (parking lot, incast, proxy split) with per-link rate, delay,
+  loss, and AQM; ``Network`` is its dumbbell facade.
 """
 
 from repro.netsim.engine import EventLoop
@@ -39,6 +42,20 @@ from repro.netsim.traces import (
     cellular_trace,
     internet_path_rate,
 )
+from repro.netsim.topo import (
+    TOPOLOGY_CLASSES,
+    FlowPath,
+    Node,
+    PathView,
+    TopoLink,
+    Topology,
+    describe_topology,
+    dumbbell_topology,
+    incast_topology,
+    make_topology,
+    parking_lot_topology,
+    proxy_split_topology,
+)
 
 __all__ = [
     "EventLoop",
@@ -61,4 +78,16 @@ __all__ = [
     "TraceRate",
     "cellular_trace",
     "internet_path_rate",
+    "TOPOLOGY_CLASSES",
+    "FlowPath",
+    "Node",
+    "PathView",
+    "TopoLink",
+    "Topology",
+    "describe_topology",
+    "dumbbell_topology",
+    "incast_topology",
+    "make_topology",
+    "parking_lot_topology",
+    "proxy_split_topology",
 ]

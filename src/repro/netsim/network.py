@@ -1,4 +1,4 @@
-"""Dumbbell network wiring senders, the bottleneck, and receivers.
+"""Dumbbell network: a thin facade over the graph engine in ``topo``.
 
 Topology (the paper's emulation model):
 
@@ -11,18 +11,26 @@ Topology (the paper's emulation model):
 Data packets from every flow share the one bottleneck; each flow then sees
 its own one-way propagation delay. ACKs return on an uncongested reverse
 path. ``min_rtt`` of a flow is split evenly between the two directions.
+
+Since the graph engine landed, this class no longer owns the data path: it
+builds a two-node, one-link :class:`~repro.netsim.topo.Topology` (all
+propagation in the per-flow access segments) and adapts it through a
+:class:`~repro.netsim.topo.PathView`. The event schedule — serialization
+events, one delivery event per data packet, one return event per ACK, and
+the order of jitter draws — is **bit-identical** to the historical
+self-contained implementation, so seeded simulations and collected pools
+are unchanged.
 """
 
 from __future__ import annotations
 
-import random as _random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.netsim.aqm import AQM, TailDrop
 from repro.netsim.engine import EventLoop
-from repro.netsim.link import Link
 from repro.netsim.packet import Packet
+from repro.netsim.topo import PathView, Topology, dumbbell_topology
 from repro.netsim.traces import RateProcess
 
 
@@ -69,13 +77,11 @@ class Network:
         self, loop: EventLoop, rate: RateProcess, aqm: AQM, seed: int = 0
     ) -> None:
         self.loop = loop
-        self.link = Link(loop, rate, aqm, self._on_link_deliver)
-        self._jitter_rng = _random.Random(seed)
+        self.topology: Topology = dumbbell_topology(rate, aqm, loop=loop, seed=seed)
+        self._view: PathView = self.topology.view(("snd", "rcv"))
+        #: the bottleneck serializer (queue + AQM), for introspection
+        self.link = self.topology.links[0].inner
         self._paths: Dict[int, PathConfig] = {}
-        self._data_sinks: Dict[int, Callable[[Packet], None]] = {}
-        self._ack_sinks: Dict[int, Callable[[Packet], None]] = {}
-        self.dropped_by_flow: Dict[int, int] = {}
-        self.delivered_by_flow: Dict[int, int] = {}
 
     # -- registration ----------------------------------------------------
     def attach_flow(
@@ -86,38 +92,33 @@ class Network:
         ack_sink: Callable[[Packet], None],
     ) -> None:
         """Register a flow's path and its two delivery callbacks."""
-        if flow_id in self._paths:
-            raise ValueError(f"flow {flow_id} already attached")
+        self._view.attach_flow(flow_id, path, data_sink, ack_sink)
         self._paths[flow_id] = path
-        self._data_sinks[flow_id] = data_sink
-        self._ack_sinks[flow_id] = ack_sink
-        self.dropped_by_flow[flow_id] = 0
-        self.delivered_by_flow[flow_id] = 0
+
+    def detach_flow(self, flow_id: int) -> None:
+        """Forget a flow; its in-flight packets are discarded on arrival."""
+        self._view.detach_flow(flow_id)
+        del self._paths[flow_id]
 
     # -- data path ---------------------------------------------------------
     def send_data(self, pkt: Packet) -> None:
         """Sender entry point: offer a data packet to the bottleneck."""
         if pkt.flow_id not in self._paths:
-            raise KeyError(f"unknown flow {pkt.flow_id}")
-        accepted = self.link.send(pkt)
-        if not accepted:
-            self.dropped_by_flow[pkt.flow_id] += 1
-
-    def _on_link_deliver(self, pkt: Packet) -> None:
-        path = self._paths[pkt.flow_id]
-        sink = self._data_sinks[pkt.flow_id]
-        self.delivered_by_flow[pkt.flow_id] += 1
-        delay = path.fwd_delay
-        if path.jitter > 0:
-            delay += self._jitter_rng.random() * path.jitter
-        self.loop.call_later(delay, lambda p=pkt: sink(p))
+            raise ValueError(
+                f"flow {pkt.flow_id} is not attached to this network; "
+                f"attach_flow() it before sending data"
+            )
+        self._view.send_data(pkt)
 
     # -- ack path ----------------------------------------------------------
     def send_ack(self, ack: Packet) -> None:
         """Receiver entry point: return an ACK over the uncongested path."""
-        path = self._paths[ack.flow_id]
-        sink = self._ack_sinks[ack.flow_id]
-        self.loop.call_later(path.rev_delay, lambda p=ack: sink(p))
+        if ack.flow_id not in self._paths:
+            raise ValueError(
+                f"flow {ack.flow_id} is not attached to this network; "
+                f"attach_flow() it before sending ACKs"
+            )
+        self._view.send_ack(ack)
 
     # -- introspection -------------------------------------------------------
     def min_rtt(self, flow_id: int) -> float:
@@ -126,6 +127,14 @@ class Network:
     @property
     def queue_delay(self) -> float:
         return self.link.queue_delay()
+
+    @property
+    def dropped_by_flow(self) -> Dict[int, int]:
+        return self.topology.dropped_by_flow
+
+    @property
+    def delivered_by_flow(self) -> Dict[int, int]:
+        return self.topology.delivered_by_flow
 
 
 def make_network(

@@ -11,7 +11,9 @@ serving metrics throughout.
 - :mod:`~repro.serve.fallback` — ratio-space CUBIC / AIMD degraded modes.
 - :mod:`~repro.serve.client` — :class:`ServedAgent`, a PolicyAgent that
   routes through a server (leagues/run_policy plug in directly).
-- :mod:`~repro.serve.harness` — N served senders over one bottleneck.
+- :mod:`~repro.serve.harness` — N served senders over one bottleneck, plus
+  the open-loop workload mode (Poisson arrivals of short served flows over
+  any :mod:`~repro.netsim.topo` class, FCT percentiles in the metrics).
 - :mod:`~repro.serve.metrics` — latency percentiles, batch histogram,
   fallback rate.
 - :mod:`~repro.serve.bench` — batched-vs-batch=1 throughput measurement
@@ -24,8 +26,11 @@ from repro.serve.fallback import AimdFallback, CubicFallback, make_fallback
 from repro.serve.harness import (
     MultiFlowConfig,
     MultiFlowResult,
+    WorkloadServeConfig,
+    WorkloadServeResult,
     jain_index,
     run_served_flows,
+    run_served_workload,
 )
 from repro.serve.metrics import ServingMetrics
 
@@ -37,7 +42,10 @@ __all__ = [
     "ServingMetrics",
     "MultiFlowConfig",
     "MultiFlowResult",
+    "WorkloadServeConfig",
+    "WorkloadServeResult",
     "run_served_flows",
+    "run_served_workload",
     "jain_index",
     "CubicFallback",
     "AimdFallback",

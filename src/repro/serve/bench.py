@@ -35,7 +35,12 @@ from repro.collector.gr_unit import STATE_DIM
 from repro.core.agent import SageAgent
 from repro.core.networks import NetworkConfig, SagePolicy
 from repro.serve.engine import PolicyServer, ServeConfig
-from repro.serve.harness import MultiFlowConfig, run_served_flows
+from repro.serve.harness import (
+    MultiFlowConfig,
+    WorkloadServeConfig,
+    run_served_flows,
+    run_served_workload,
+)
 
 
 def run_serve_bench(
@@ -47,11 +52,15 @@ def run_serve_bench(
     harness_duration: float = 3.0,
     tiers: bool = False,
     tiers_kwargs: Optional[dict] = None,
+    workload: bool = False,
+    workload_config: Optional[WorkloadServeConfig] = None,
 ) -> dict:
     """Benchmark batched serving against N batch=1 agents; returns a report.
 
     ``tiers=True`` appends the tiered-router section (see
     :func:`run_tiered_bench`); ``tiers_kwargs`` forwards its knobs.
+    ``workload=True`` appends the open-loop section (see
+    :func:`run_workload_bench`).
     """
     cfg = net_config if net_config is not None else NetworkConfig()
     rng = np.random.default_rng(seed)
@@ -139,7 +148,48 @@ def run_serve_bench(
             flows=flows, ticks=ticks, seed=seed, net_config=cfg,
             policy=policy, **(tiers_kwargs or {}),
         )
+
+    if workload:
+        result["workload"] = run_workload_bench(
+            policy, config=workload_config, seed=seed
+        )
     return result
+
+
+def run_workload_bench(
+    policy: SagePolicy,
+    config: Optional[WorkloadServeConfig] = None,
+    seed: int = 0,
+) -> dict:
+    """Serve an open-loop workload end to end; returns the FCT report.
+
+    The headline number is ``arrivals_per_s_wall``: flow arrivals processed
+    per wall-clock second through the full path (topology simulation + GR
+    feature extraction + batched policy forward + cwnd enforcement).
+    """
+    cfg = config if config is not None else WorkloadServeConfig(seed=seed)
+    t0 = time.perf_counter()
+    res = run_served_workload(policy, cfg)
+    wall = time.perf_counter() - t0
+    fct = res.metrics.get("fct", {})
+    return {
+        "topology": cfg.topology,
+        "arrival_rate": cfg.arrival_rate,
+        "duration_s": cfg.duration,
+        "mean_size_bytes": cfg.mean_size_bytes,
+        "seed": cfg.seed,
+        "n_sessions": res.n_sessions,
+        "n_requests": res.n_requests,
+        "peak_concurrent": res.peak_concurrent,
+        "n_completed": fct.get("n_completed", 0),
+        "n_abandoned": fct.get("n_abandoned", 0),
+        "fct_p50_ms": fct.get("p50_ms", 0.0),
+        "fct_p95_ms": fct.get("p95_ms", 0.0),
+        "fct_p99_ms": fct.get("p99_ms", 0.0),
+        "mean_slowdown": res.fct.mean_slowdown,
+        "elapsed_s": round(wall, 4),
+        "arrivals_per_s_wall": round(res.n_requests / wall, 1),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -355,6 +405,22 @@ def format_report(result: dict) -> str:
                 f"vs NN-only {lf['nn_winning_rate'] * 100:.2f}% "
                 f"(delta {lf['delta_points']:.2f} points)"
             )
+    if "workload" in result:
+        w = result["workload"]
+        lines.append(
+            f"--- open-loop workload ({w['topology']}, "
+            f"{w['arrival_rate']:g}/s x {w['duration_s']:g}s) ---"
+        )
+        lines.append(
+            f"{w['n_requests']} flows ({w['n_completed']} completed, "
+            f"{w['n_abandoned']} abandoned, peak {w['peak_concurrent']} "
+            f"concurrent)   FCT p50/p95/p99: {w['fct_p50_ms']:.1f}/"
+            f"{w['fct_p95_ms']:.1f}/{w['fct_p99_ms']:.1f} ms"
+        )
+        lines.append(
+            f"served {w['arrivals_per_s_wall']:.0f} arrivals/s wall-clock "
+            f"({w['elapsed_s']:.2f}s elapsed)"
+        )
     return "\n".join(lines)
 
 

@@ -35,7 +35,8 @@ class ServingMetrics:
     """Rolling counters for one :class:`~repro.serve.engine.PolicyServer`."""
 
     __slots__ = ("latencies_s", "batch_hist", "sources", "ticks", "decisions",
-                 "deadline_misses", "invalid_actions", "tier_latencies_s")
+                 "deadline_misses", "invalid_actions", "tier_latencies_s",
+                 "fcts_s", "flows_abandoned")
 
     def __init__(self) -> None:
         self.latencies_s: List[float] = []
@@ -48,6 +49,10 @@ class ServingMetrics:
         self.tier_latencies_s: Dict[str, List[float]] = {
             k: [] for k in _TIER_LATENCY_KEYS
         }
+        # open-loop workload serving: per-flow completion times (simulated
+        # seconds) and flows abandoned unfinished at the horizon
+        self.fcts_s: List[float] = []
+        self.flows_abandoned = 0
 
     # ------------------------------------------------------------------
     def record_tick(
@@ -72,11 +77,24 @@ class ServingMetrics:
         """One latency sample for a non-NN tier ("symbolic" / "heuristic")."""
         self.tier_latencies_s[tier].append(latency_s)
 
+    def record_fct(self, fct_s: float) -> None:
+        """One served flow finished its transfer after ``fct_s`` sim-seconds."""
+        self.fcts_s.append(fct_s)
+
+    def record_abandoned(self, n: int = 1) -> None:
+        """``n`` served flows were still unfinished at the run horizon."""
+        self.flows_abandoned += n
+
     # ------------------------------------------------------------------
     def latency_percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             return 0.0
         return float(np.percentile(self.latencies_s, q)) * 1e3
+
+    def fct_percentile_ms(self, q: float) -> float:
+        if not self.fcts_s:
+            return 0.0
+        return float(np.percentile(self.fcts_s, q)) * 1e3
 
     def tier_latency_percentile_ms(self, tier: str, q: float) -> float:
         """Latency percentile for one tier; "nn" maps to the tick timer."""
@@ -124,7 +142,7 @@ class ServingMetrics:
                     self.tier_latency_percentile_ms(tier, 99.0), 4
                 ),
             }
-        return {
+        snap = {
             "ticks": self.ticks,
             "decisions": self.decisions,
             "deadline_misses": self.deadline_misses,
@@ -137,3 +155,12 @@ class ServingMetrics:
             "symbolic_hit_rate": round(self.symbolic_hit_rate, 6),
             "fallback_rate": round(self.fallback_rate, 6),
         }
+        if self.fcts_s or self.flows_abandoned:
+            snap["fct"] = {
+                "n_completed": len(self.fcts_s),
+                "n_abandoned": self.flows_abandoned,
+                "p50_ms": round(self.fct_percentile_ms(50.0), 4),
+                "p95_ms": round(self.fct_percentile_ms(95.0), 4),
+                "p99_ms": round(self.fct_percentile_ms(99.0), 4),
+            }
+        return snap

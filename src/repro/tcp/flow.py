@@ -70,6 +70,7 @@ class Flow:
         min_rtt: float,
         start_at: float = 0.0,
         initial_cwnd: float = 10.0,
+        size_bytes: Optional[int] = None,
     ) -> None:
         """
         Parameters
@@ -81,6 +82,10 @@ class Flow:
             Propagation RTT of this flow's path, seconds.
         start_at:
             Absolute simulation time at which the flow begins sending.
+        size_bytes:
+            Total bytes to transfer, or None for an unbounded flow. Finite
+            flows stop themselves once the final packet is acked; the
+            completion time is on ``sender.completed_at``.
         """
         if isinstance(scheme, CongestionControl):
             self.cc = scheme
@@ -90,7 +95,14 @@ class Flow:
         self.flow_id = flow_id
         self.start_at = start_at
         self.receiver = TcpReceiver(flow_id, network)
-        self.sender = TcpSender(flow_id, network, self.cc, initial_cwnd=initial_cwnd)
+        size_pkts = (
+            None if size_bytes is None
+            else max(int(-(-size_bytes // MSS_BYTES)), 1)
+        )
+        self.sender = TcpSender(
+            flow_id, network, self.cc,
+            initial_cwnd=initial_cwnd, size_pkts=size_pkts,
+        )
         network.attach_flow(
             flow_id,
             PathConfig(min_rtt=min_rtt),

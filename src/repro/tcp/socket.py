@@ -19,7 +19,7 @@ like a kernel module mutates ``tcp_sock``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.netsim.engine import EventHandle, EventLoop
 from repro.netsim.network import Network
@@ -235,6 +235,9 @@ class TcpSender:
         "_stopped",
         "start_time",
         "external_cwnd_control",
+        "size_pkts",
+        "on_complete",
+        "completed_at",
     )
 
     def __init__(
@@ -244,7 +247,10 @@ class TcpSender:
         cc: CongestionControl,
         initial_cwnd: float = 10.0,
         max_cwnd: float = 4096.0,
+        size_pkts: Optional[int] = None,
     ) -> None:
+        if size_pkts is not None and size_pkts < 1:
+            raise ValueError(f"size_pkts must be >= 1, got {size_pkts}")
         self.flow_id = flow_id
         self.network = network
         self.loop: EventLoop = network.loop
@@ -302,6 +308,13 @@ class TcpSender:
         #: Execution block and the RL baselines use this).
         self.external_cwnd_control = False
 
+        # -- finite flows (open-loop workloads) --
+        #: total packets to send, or None for an unbounded flow
+        self.size_pkts = size_pkts
+        #: called with this sender once the final packet is cumulatively acked
+        self.on_complete: Optional[Callable[["TcpSender"], None]] = None
+        self.completed_at: Optional[float] = None
+
         self.cc.on_init(self)
 
     # ------------------------------------------------------------------
@@ -352,6 +365,7 @@ class TcpSender:
             not self._stopped
             and not self._pacing_blocked
             and self.inflight < self.cwnd
+            and (self.size_pkts is None or self.snd_nxt < self.size_pkts)
         )
 
     def _try_send(self) -> None:
@@ -418,6 +432,15 @@ class TcpSender:
         self._update_sacked_estimate(ack)
         self._sack_loss_detection(ack, now)
         self._try_send()
+        if (
+            self.size_pkts is not None
+            and self.completed_at is None
+            and self.snd_una >= self.size_pkts
+        ):
+            self.completed_at = now
+            self.stop()
+            if self.on_complete is not None:
+                self.on_complete(self)
 
     def _update_sacked_estimate(self, ack: Packet) -> None:
         """Estimate how many packets above ``snd_una`` the receiver holds.

@@ -1,0 +1,38 @@
+"""Open-loop traffic generation: short-lived flows through any topology.
+
+The collector's world is a handful of long-lived flows; real serving is
+thousands of short ones. This package generates open-loop workloads —
+Poisson flow arrivals, heavy-tailed (Pareto / log-normal) flow sizes, and
+request/response web sessions with think times — from deterministic
+SplitMix64-derived seed streams, drives them through any
+:class:`~repro.netsim.topo.Topology`, and reports flow-completion-time
+(FCT) statistics alongside the existing throughput/delay metrics.
+
+- :mod:`~repro.workload.generator` — the schedule: arrivals, sizes,
+  sessions (pure data, fully deterministic per seed).
+- :mod:`~repro.workload.fct` — FCT records and summary statistics
+  (percentiles, slowdown, size buckets).
+- :mod:`~repro.workload.runner` — executes a schedule over a topology.
+"""
+
+from repro.workload.generator import (
+    FlowArrival,
+    Request,
+    WorkloadConfig,
+    generate_schedule,
+    schedule_digest,
+)
+from repro.workload.fct import FctRecord, FctSummary
+from repro.workload.runner import WorkloadResult, run_workload
+
+__all__ = [
+    "FlowArrival",
+    "Request",
+    "WorkloadConfig",
+    "generate_schedule",
+    "schedule_digest",
+    "FctRecord",
+    "FctSummary",
+    "WorkloadResult",
+    "run_workload",
+]

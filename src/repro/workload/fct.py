@@ -1,0 +1,121 @@
+"""Flow-completion-time records and summary statistics.
+
+FCT is the workload-level complement to the collector's per-flow
+throughput/delay series: for short flows, what matters is how long the
+*transfer* took, normalized by how long it could ideally have taken
+(**slowdown** — 1.0 means the flow moved at full bottleneck rate plus one
+propagation RTT). Summaries report percentiles overall and per size bucket
+(mice / medium / elephants), the standard datacenter-workload breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["FctRecord", "FctSummary", "SIZE_BUCKETS"]
+
+#: size-bucket edges in bytes: mice < 100 KB <= medium < 1 MB <= elephants
+SIZE_BUCKETS = (("mice", 0, 100_000), ("medium", 100_000, 1_000_000),
+                ("elephant", 1_000_000, None))
+
+
+@dataclass(frozen=True)
+class FctRecord:
+    """One finished (or abandoned) transfer."""
+
+    flow_id: int
+    arrival_index: int
+    size_bytes: int
+    start: float
+    #: completion time, or None if still unfinished at the horizon
+    finish: Optional[float]
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        return None if self.finish is None else self.finish - self.start
+
+    def slowdown(self, base_rtt: float, bottleneck_bps: float) -> Optional[float]:
+        """FCT over the ideal store-and-forward time for this size."""
+        if self.finish is None:
+            return None
+        ideal = base_rtt + self.size_bytes * 8.0 / max(bottleneck_bps, 1e3)
+        return max(self.fct / max(ideal, 1e-9), 0.0)
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Aggregate FCT statistics over one workload run."""
+
+    n_flows: int
+    n_completed: int
+    total_bytes: int
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    mean_slowdown: float
+    p99_slowdown: float
+    buckets: Dict[str, dict]
+
+    @property
+    def completion_rate(self) -> float:
+        return self.n_completed / self.n_flows if self.n_flows else 0.0
+
+    @classmethod
+    def from_records(
+        cls,
+        records: List[FctRecord],
+        base_rtt: float,
+        bottleneck_bps: float,
+    ) -> "FctSummary":
+        done = [r for r in records if r.completed]
+        fcts = np.asarray([r.fct for r in done], dtype=np.float64)
+        slows = np.asarray(
+            [r.slowdown(base_rtt, bottleneck_bps) for r in done], dtype=np.float64
+        )
+        buckets: Dict[str, dict] = {}
+        for name, lo, hi in SIZE_BUCKETS:
+            sel = [
+                r for r in done
+                if r.size_bytes >= lo and (hi is None or r.size_bytes < hi)
+            ]
+            bfcts = np.asarray([r.fct for r in sel], dtype=np.float64)
+            buckets[name] = {
+                "n": len(sel),
+                "p50_s": float(np.percentile(bfcts, 50)) if len(sel) else 0.0,
+                "p99_s": float(np.percentile(bfcts, 99)) if len(sel) else 0.0,
+            }
+        return cls(
+            n_flows=len(records),
+            n_completed=len(done),
+            total_bytes=sum(r.size_bytes for r in done),
+            p50_s=float(np.percentile(fcts, 50)) if len(done) else 0.0,
+            p95_s=float(np.percentile(fcts, 95)) if len(done) else 0.0,
+            p99_s=float(np.percentile(fcts, 99)) if len(done) else 0.0,
+            mean_s=float(np.mean(fcts)) if len(done) else 0.0,
+            mean_slowdown=float(np.mean(slows)) if len(done) else 0.0,
+            p99_slowdown=float(np.percentile(slows, 99)) if len(done) else 0.0,
+            buckets=buckets,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "n_flows": self.n_flows,
+            "n_completed": self.n_completed,
+            "completion_rate": round(self.completion_rate, 6),
+            "total_bytes": self.total_bytes,
+            "fct_p50_ms": round(self.p50_s * 1e3, 4),
+            "fct_p95_ms": round(self.p95_s * 1e3, 4),
+            "fct_p99_ms": round(self.p99_s * 1e3, 4),
+            "fct_mean_ms": round(self.mean_s * 1e3, 4),
+            "mean_slowdown": round(self.mean_slowdown, 4),
+            "p99_slowdown": round(self.p99_slowdown, 4),
+            "buckets": self.buckets,
+        }

@@ -132,3 +132,62 @@ class TestEndToEnd:
         ]) == 0
         out = capsys.readouterr().out
         assert "throughput=" in out
+
+
+class TestTopoCli:
+    def test_topo_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topo"])
+
+    def test_topo_describe_args(self):
+        args = build_parser().parse_args(
+            ["topo", "describe", "parking_lot", "--segments", "4",
+             "--bw", "24", "--rtt", "0.04"]
+        )
+        assert args.topo_class == "parking_lot"
+        assert args.segments == 4 and args.bw == 24.0
+
+    def test_topo_matrix_args(self):
+        args = build_parser().parse_args(
+            ["topo", "matrix", "--schemes", "cubic,vegas",
+             "--classes", "dumbbell,incast", "--duration", "5",
+             "--out", "m.json"]
+        )
+        assert args.schemes == "cubic,vegas"
+        assert args.classes == "dumbbell,incast"
+        assert args.duration == 5.0 and args.out == "m.json"
+
+    def test_collect_topology_flag(self):
+        args = build_parser().parse_args(["collect", "--topology", "incast"])
+        assert args.topology == "incast"
+
+    def test_serve_bench_workload_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--workload", "--topology", "parking_lot",
+             "--arrival-rate", "150", "--workload-duration", "3",
+             "--mean-size-kb", "25"]
+        )
+        assert args.workload and args.topology == "parking_lot"
+        assert args.arrival_rate == 150.0
+        assert args.workload_duration == 3.0 and args.mean_size_kb == 25.0
+
+    def test_describe_runs(self, capsys):
+        assert main(["topo", "describe", "incast", "--senders", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "egress" in out and "main path" in out
+
+    def test_matrix_runs_and_saves(self, tmp_path, capsys):
+        out_path = str(tmp_path / "matrix.json")
+        assert main([
+            "topo", "matrix", "--schemes", "cubic,vegas",
+            "--classes", "dumbbell,proxy_split", "--duration", "2",
+            "--workers", "1", "--out", out_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dumbbell" in out and "proxy_split" in out
+        import json
+        saved = json.loads((tmp_path / "matrix.json").read_text())
+        assert saved["schema_version"] == 1
+        assert set(saved["rates"]) == {"dumbbell", "proxy_split"}
+        for per_class in saved["rates"].values():
+            assert set(per_class) == {"cubic", "vegas"}

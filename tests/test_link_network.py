@@ -122,8 +122,13 @@ class TestNetwork:
 
     def test_unknown_flow_rejected(self):
         loop, net = self._net()
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="flow 42 is not attached"):
             net.send_data(data(0, flow=42))
+
+    def test_unknown_flow_ack_rejected(self):
+        loop, net = self._net()
+        with pytest.raises(ValueError, match="flow 7 is not attached"):
+            net.send_ack(data(0, flow=7))
 
     def test_min_rtt_lookup(self):
         loop, net = self._net()

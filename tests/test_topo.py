@@ -1,0 +1,389 @@
+"""Tests for the graph topology engine (`repro.netsim.topo`).
+
+Two pillars:
+
+- **Facade fidelity** — the dumbbell `Network` is now a thin view over a
+  two-node graph; `_LegacyNetwork` below is a verbatim copy of the
+  pre-graph implementation, and the equivalence tests assert the rewrite
+  reproduces its event streams *bitwise* (identical delivery/ACK
+  timestamps, identical jitter draws, identical sender evolution).
+- **Parking-lot physics** — multi-bottleneck closed-form checks: who gets
+  which share, where the queue actually builds.
+"""
+
+import random as _random
+from typing import Callable, Dict
+
+import pytest
+
+from repro.netsim.aqm import TailDrop
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import Link
+from repro.netsim.network import Network, PathConfig
+from repro.netsim.packet import MSS_BYTES, Packet
+from repro.netsim.topo import (
+    TOPOLOGY_CLASSES,
+    Topology,
+    describe_topology,
+    dumbbell_topology,
+    incast_topology,
+    make_topology,
+    parking_lot_topology,
+    proxy_split_topology,
+)
+from repro.netsim.traces import FlatRate, StepRate
+from repro.serve.harness import jain_index
+from repro.tcp.flow import Flow
+
+
+# ---------------------------------------------------------------------------
+# the pre-graph dumbbell, copied verbatim: the bit-identity reference
+# ---------------------------------------------------------------------------
+
+
+class _LegacyNetwork:
+    def __init__(self, loop, rate, aqm, seed=0):
+        self.loop = loop
+        self.link = Link(loop, rate, aqm, self._on_link_deliver)
+        self._jitter_rng = _random.Random(seed)
+        self._paths: Dict[int, PathConfig] = {}
+        self._data_sinks: Dict[int, Callable[[Packet], None]] = {}
+        self._ack_sinks: Dict[int, Callable[[Packet], None]] = {}
+        self.dropped_by_flow: Dict[int, int] = {}
+        self.delivered_by_flow: Dict[int, int] = {}
+
+    def attach_flow(self, flow_id, path, data_sink, ack_sink):
+        if flow_id in self._paths:
+            raise ValueError(f"flow {flow_id} already attached")
+        self._paths[flow_id] = path
+        self._data_sinks[flow_id] = data_sink
+        self._ack_sinks[flow_id] = ack_sink
+        self.dropped_by_flow[flow_id] = 0
+        self.delivered_by_flow[flow_id] = 0
+
+    def send_data(self, pkt):
+        if pkt.flow_id not in self._paths:
+            raise KeyError(f"unknown flow {pkt.flow_id}")
+        accepted = self.link.send(pkt)
+        if not accepted:
+            self.dropped_by_flow[pkt.flow_id] += 1
+
+    def _on_link_deliver(self, pkt):
+        path = self._paths[pkt.flow_id]
+        sink = self._data_sinks[pkt.flow_id]
+        self.delivered_by_flow[pkt.flow_id] += 1
+        delay = path.fwd_delay
+        if path.jitter > 0:
+            delay += self._jitter_rng.random() * path.jitter
+        self.loop.call_later(delay, lambda p=pkt: sink(p))
+
+    def send_ack(self, ack):
+        path = self._paths[ack.flow_id]
+        sink = self._ack_sinks[ack.flow_id]
+        self.loop.call_later(path.rev_delay, lambda p=ack: sink(p))
+
+    def min_rtt(self, flow_id):
+        return self._paths[flow_id].min_rtt
+
+    @property
+    def queue_delay(self):
+        return self.link.queue_delay()
+
+
+def _run_dumbbell(net_factory, rate_factory, duration=6.0):
+    """Drive the same 3-flow scenario on any dumbbell-compatible network."""
+    loop = EventLoop()
+    net = net_factory(loop, rate_factory(), TailDrop(60_000))
+    flows = [
+        Flow(net, flow_id=0, scheme="cubic", min_rtt=0.04),
+        Flow(net, flow_id=1, scheme="vegas", min_rtt=0.03),
+        Flow(net, flow_id=2, scheme="newreno", min_rtt=0.08, start_at=1.0),
+    ]
+    trace = []
+    for flow in flows:
+        flow.start()
+    t = 0.0
+    while t < duration:
+        t += 0.1
+        loop.run_until(t)
+        for flow in flows:
+            flow.sample()
+            trace.append(
+                (flow.flow_id, flow.sender.cwnd, flow.sender.snd_una,
+                 flow.sender.retransmits)
+            )
+    counters = (
+        tuple(sorted(net.delivered_by_flow.items())),
+        tuple(sorted(net.dropped_by_flow.items())),
+    )
+    return trace, counters, [f.stats() for f in flows]
+
+
+class TestDumbbellBitIdentity:
+    """The graph-backed facade must equal the legacy dumbbell bitwise."""
+
+    @pytest.mark.parametrize("rate_factory", [
+        lambda: FlatRate(24e6),
+        lambda: StepRate(12e6, 2.0, t_switch=2.5),
+    ], ids=["flat", "step"])
+    def test_flows_evolve_identically(self, rate_factory):
+        legacy = _run_dumbbell(_LegacyNetwork, rate_factory)
+        graph = _run_dumbbell(Network, rate_factory)
+        assert legacy[0] == graph[0]  # full cwnd/una/retx trace, exact
+        assert legacy[1] == graph[1]  # delivered/dropped counters, exact
+        for ls, gs in zip(legacy[2], graph[2]):
+            assert ls.avg_throughput_bps == gs.avg_throughput_bps
+            assert ls.loss_rate == gs.loss_rate
+
+    def test_jitter_stream_identical(self):
+        """Raw-API check: seeded jitter draws land at identical times."""
+
+        def drive(net):
+            events = []
+            net.attach_flow(
+                7, PathConfig(min_rtt=0.05, jitter=0.01),
+                lambda p: events.append(("data", net.loop.now, p.seq)),
+                lambda p: events.append(("ack", net.loop.now, p.seq)),
+            )
+            for i in range(32):
+                net.loop.call_at(
+                    i * 0.003,
+                    lambda i=i: net.send_data(Packet(flow_id=7, seq=i)),
+                )
+                net.loop.call_at(
+                    i * 0.004 + 0.001,
+                    lambda i=i: net.send_ack(
+                        Packet(flow_id=7, seq=i, size=40, is_ack=True)
+                    ),
+                )
+            net.loop.run_until(2.0)
+            return events
+
+        legacy = drive(
+            _LegacyNetwork(EventLoop(), FlatRate(10e6), TailDrop(30_000), seed=3)
+        )
+        graph = drive(
+            Network(EventLoop(), FlatRate(10e6), TailDrop(30_000), seed=3)
+        )
+        assert legacy == graph
+
+    def test_facade_exposes_graph(self):
+        net = Network(EventLoop(), FlatRate(24e6), TailDrop(60_000))
+        assert list(net.topology.nodes) == ["snd", "rcv"]
+        assert len(net.topology.links) == 1
+        assert net.link is net.topology.links[0].inner
+
+
+# ---------------------------------------------------------------------------
+# topology construction and routing
+# ---------------------------------------------------------------------------
+
+
+class TestTopologyBasics:
+    def test_unknown_node_in_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError, match="unknown node"):
+            topo.add_link("a", "b", FlatRate(1e6), TailDrop(10_000))
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ValueError, match="already"):
+            topo.add_node("a")
+
+    def test_unattached_send_raises_value_error(self):
+        topo = dumbbell_topology(FlatRate(1e6), TailDrop(10_000))
+        with pytest.raises(ValueError, match="flow 9 is not attached"):
+            topo.send_data(Packet(flow_id=9, seq=0))
+        with pytest.raises(ValueError, match="flow 9 is not attached"):
+            topo.send_ack(Packet(flow_id=9, seq=0, is_ack=True))
+
+    def test_path_must_follow_links(self):
+        topo = parking_lot_topology(n_segments=2)
+        with pytest.raises(ValueError, match="no link"):
+            topo.view(("r0", "r2"))  # no direct r0 -> r2 link
+
+    def test_detached_flow_orphans_in_flight(self):
+        topo = dumbbell_topology(FlatRate(10e6), TailDrop(30_000))
+        got = []
+        view = topo.view(("snd", "rcv"))
+        view.attach_flow(
+            1, PathConfig(min_rtt=0.05), lambda p: got.append(p.seq),
+            lambda p: None,
+        )
+        for i in range(4):
+            view.send_data(Packet(flow_id=1, seq=i))
+        topo.loop.run_until(0.001)  # serialized, still propagating
+        topo.detach_flow(1)
+        topo.loop.run_until(1.0)
+        assert got == []
+        assert topo.orphaned >= 1
+
+    def test_min_rtt_matches_path_config(self):
+        """The per-flow access delay tops up graph propagation to min_rtt."""
+        topo = parking_lot_topology(n_segments=3, min_rtt=0.04)
+        flow = Flow(topo.view(("r0", "r1", "r2", "r3")), flow_id=5,
+                    scheme="cubic", min_rtt=0.1)
+        assert topo.min_rtt(5) == pytest.approx(0.1)
+
+    def test_link_flap_drops_then_recovers(self):
+        topo = dumbbell_topology(FlatRate(10e6), TailDrop(30_000))
+        link = topo.links[0]
+        link.schedule_flap(at=0.5, down_for=0.5)
+        flow = Flow(topo.view(("snd", "rcv")), flow_id=1, scheme="cubic",
+                    min_rtt=0.04)
+        flow.start()
+        topo.loop.run_until(3.0)
+        flow.sample()
+        assert link.drops_down > 0  # packets died in the down window
+        assert link.up  # came back
+        assert flow.sender.snd_una > 0  # and traffic resumed
+
+    def test_random_loss_deterministic_per_seed(self):
+        def run(seed):
+            topo = Topology(seed=seed)
+            topo.add_node("a")
+            topo.add_node("b")
+            topo.add_link("a", "b", FlatRate(10e6), TailDrop(30_000),
+                          loss=0.05)
+            flow = Flow(topo.view(("a", "b")), flow_id=1, scheme="newreno",
+                        min_rtt=0.04)
+            flow.start()
+            topo.loop.run_until(3.0)
+            return topo.links[0].drops_loss, flow.sender.snd_una
+
+        assert run(1) == run(1)
+        assert run(1)[0] > 0
+        assert run(1) != run(2)
+
+
+# ---------------------------------------------------------------------------
+# factories
+# ---------------------------------------------------------------------------
+
+
+class TestFactories:
+    def test_make_topology_dispatch(self):
+        for cls in TOPOLOGY_CLASSES:
+            assert make_topology(cls).links  # builds and has links
+        assert make_topology("parking-lot")  # dash alias
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("star")
+
+    def test_describe_mentions_every_link(self):
+        out = describe_topology("proxy_split")
+        assert "wan" in out and "lan" in out and "main path" in out
+
+    def test_incast_shape(self):
+        topo = incast_topology(n_senders=4)
+        assert sum(1 for n in topo.nodes.values() if n.kind == "host") == 5
+        egress = topo.link_between("sw", "rcv")
+        access = topo.link_between("s0", "sw")
+        assert access.inner.rate.rate_at(0.0) > egress.inner.rate.rate_at(0.0)
+
+    def test_proxy_split_generic_knobs(self):
+        topo = make_topology("proxy_split", bw_mbps=10.0, min_rtt=0.1,
+                             buffer_bytes=50_000)
+        wan = topo.link_between("snd", "proxy")
+        lan = topo.link_between("proxy", "rcv")
+        assert wan.inner.rate.rate_at(0.0) == pytest.approx(10e6)
+        assert lan.inner.rate.rate_at(0.0) == pytest.approx(40e6)
+        assert wan.prop_delay + lan.prop_delay == pytest.approx(0.05)
+
+
+# ---------------------------------------------------------------------------
+# parking-lot physics: closed-form shares and queue placement
+# ---------------------------------------------------------------------------
+
+
+def _run_parking_lot(duration=20.0):
+    """One end-to-end cubic vs one cross cubic per segment, (48, 12, 48)."""
+    topo = parking_lot_topology(
+        n_segments=3, bw_per_segment=(48.0, 12.0, 48.0), min_rtt=0.04,
+        buffer_bytes=120_000,
+    )
+    main = Flow(topo.view(("r0", "r1", "r2", "r3")), flow_id=0,
+                scheme="cubic", min_rtt=0.04)
+    crosses = [
+        Flow(topo.view((f"r{i}", f"r{i+1}")), flow_id=10 + i,
+             scheme="cubic", min_rtt=0.04)
+        for i in range(3)
+    ]
+    flows = [main] + crosses
+    for flow in flows:
+        flow.start()
+    queue_samples = {i: [] for i in range(3)}
+    t = 0.0
+    while t < duration:
+        t += 0.1
+        topo.loop.run_until(t)
+        for flow in flows:
+            flow.sample()
+        for i, link in enumerate(topo.links):
+            queue_samples[i].append(link.queue_delay())
+    return topo, [f.stats() for f in flows], queue_samples
+
+
+@pytest.fixture(scope="module")
+def parking_lot_run():
+    return _run_parking_lot()
+
+
+class TestParkingLotFairness:
+    """Closed-form: seg1 (12 Mbps) is the only shared bottleneck for the
+    end-to-end flow, so main and the middle cross each get ~6 Mbps while
+    the outer crosses take the rest of their 48 Mbps segments (~42)."""
+
+    def test_middle_bottleneck_split(self, parking_lot_run):
+        _, stats, _ = parking_lot_run
+        main, mid_cross = stats[0], stats[2]
+        for s in (main, mid_cross):
+            assert 3.0e6 < s.avg_throughput_bps < 9.0e6
+        # together they fill the 12 Mbps segment
+        total = main.avg_throughput_bps + mid_cross.avg_throughput_bps
+        assert total > 0.85 * 12e6
+
+    def test_outer_crosses_take_residual(self, parking_lot_run):
+        _, stats, _ = parking_lot_run
+        for s in (stats[1], stats[3]):
+            assert s.avg_throughput_bps > 30e6
+
+    def test_jain_matches_closed_form(self, parking_lot_run):
+        """Ideal shares (6, 42, 6, 42) Mbps give Jain = 96^2/(4*3600) = 0.64."""
+        _, stats, _ = parking_lot_run
+        jain = jain_index([s.avg_throughput_bps for s in stats])
+        assert 0.5 < jain < 0.8
+
+    def test_queue_delay_concentrates_at_the_bottleneck(self, parking_lot_run):
+        """Cross cubics keep bytes queued everywhere, but queueing *delay*
+        (bytes/rate) concentrates on the slow middle segment: the same
+        120 KB standing queue costs 80 ms at 12 Mbps vs 20 ms at 48."""
+        _, _, queues = parking_lot_run
+        mean = {i: sum(q) / len(q) for i, q in queues.items()}
+        assert mean[1] > 3 * mean[0]
+        assert mean[1] > 3 * mean[2]
+
+    def test_per_segment_drops_accounted(self, parking_lot_run):
+        topo, _, _ = parking_lot_run
+        assert topo.links[1].drops > 0  # cubic probes past the 12 Mbps pipe
+
+
+class TestIncastBehaviour:
+    def test_synchronized_senders_overrun_shallow_egress(self):
+        topo = incast_topology(n_senders=8, bw_mbps=48.0, min_rtt=0.01,
+                               buffer_bytes=45_000)
+        flows = [
+            Flow(topo.view((f"s{i}", "sw", "rcv")), flow_id=i,
+                 scheme="cubic", min_rtt=0.01)
+            for i in range(8)
+        ]
+        for flow in flows:
+            flow.start()
+        topo.loop.run_until(5.0)
+        for flow in flows:
+            flow.sample()
+        egress = topo.link_between("sw", "rcv")
+        assert egress.drops > 0
+        total = sum(f.stats().avg_throughput_bps for f in flows)
+        assert total > 0.6 * 48e6  # the fan-in still fills the egress
