@@ -2,8 +2,11 @@
 
 Times the legacy per-timestep :class:`CRRTrainer` against the fused
 :class:`FastCRRTrainer` on the same pool at the default training
-configuration (batch 16, seq 8), runs the same-seed equivalence check, and
-writes the result to ``BENCH_train.json``.
+configuration (batch 16, seq 8), runs the same-seed equivalence check,
+measures the data-parallel worker-scaling curve (steps/sec and gradient
+communication seconds per step for 1, 2 and 4 gradient workers, with a
+bitwise cross-worker-count identity check), and writes the result to
+``BENCH_train.json``.
 
 Runs two ways:
 
@@ -62,10 +65,12 @@ def synthetic_pool(seed: int = 0, n_traj: int = 8, length: int = 48) -> PolicyPo
 def run_bench(tiny: bool = False, collect_workers: int = 1) -> dict:
     if tiny:
         return run_train_bench(
-            pool=synthetic_pool(), steps=10, warmup=2, eq_steps=5
+            pool=synthetic_pool(), steps=10, warmup=2, eq_steps=5,
+            scaling_steps=6,
         )
     return run_train_bench(
-        steps=30, warmup=3, eq_steps=10, collect_workers=collect_workers
+        steps=30, warmup=3, eq_steps=10, collect_workers=collect_workers,
+        scaling_steps=12,
     )
 
 
@@ -82,6 +87,7 @@ def test_train_throughput(benchmark, policy_pool):
         lambda: run_train_bench(
             pool=policy_pool, steps=15, warmup=2, eq_steps=5,
             net_config=BENCH_NET, crr_config=BENCH_CRR,
+            scaling_steps=6,
         ),
     )
     print(format_report(result))
@@ -92,6 +98,9 @@ def test_train_throughput(benchmark, policy_pool):
     assert result["equivalence"]["rng_streams_identical"]
     # tiny scale on a shared runner: fusion must at least not lose
     assert result["speedup"] >= 1.0
+    assert result["worker_scaling"]["bit_identical"], (
+        "data-parallel results differ across worker counts"
+    )
 
 
 # --------------------------------------------------------------------------
@@ -115,6 +124,11 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     if not result["equivalence"]["within_tolerance"]:
         print("ERROR: fused engine outside the equivalence tolerance",
+              file=sys.stderr)
+        return 1
+    scaling = result.get("worker_scaling")
+    if scaling and not scaling["bit_identical"]:
+        print("ERROR: data-parallel results differ across worker counts",
               file=sys.stderr)
         return 1
     if not args.tiny and result["speedup"] < 3.0:

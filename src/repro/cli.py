@@ -83,6 +83,7 @@ def _cmd_train(args) -> int:
         net_config=net, crr_config=CRRConfig(), seed=args.seed,
         log_every=args.log_every, engine=args.engine,
         prefetch=args.prefetch, sampler_workers=args.workers,
+        grad_workers=args.grad_workers,
     )
     run.agent.save(args.out)
     print(f"trained {run.trainer.steps_done} steps; saved policy to {args.out}")
@@ -152,11 +153,16 @@ def _cmd_train_bench(args) -> int:
         n_components=args.components, n_atoms=args.atoms,
     )
     schemes = args.schemes.split(",") if args.schemes else None
+    scaling = (
+        tuple(int(n) for n in args.scaling_workers.split(","))
+        if args.scaling_workers else None
+    )
     result = run_train_bench(
         pool=pool, steps=args.steps, eq_steps=args.eq_steps, seed=args.seed,
         net_config=net, crr_config=CRRConfig(), prefetch=args.prefetch,
         sampler_workers=args.workers, schemes=schemes,
         collect_workers=args.collect_workers,
+        scaling_workers=scaling, scaling_steps=args.scaling_steps,
     )
     print(format_report(result))
     write_report(result, args.out)
@@ -296,6 +302,7 @@ def _pipeline_config(args):
         max_task_seconds=args.task_timeout,
         n_steps=args.steps,
         train_seed=args.seed,
+        grad_workers=args.grad_workers,
         eval_duration=args.eval_duration,
         fault_plan=args.fault_plan or None,
     )
@@ -476,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = synchronous, legacy-identical RNG stream)")
     p.add_argument("--workers", type=int, default=1,
                    help="sampler threads when --prefetch > 0")
+    p.add_argument("--grad-workers", type=int, default=0, dest="grad_workers",
+                   help="data-parallel gradient worker processes "
+                        "(0 = single-process; results are bit-identical "
+                        "for any count that divides the grain width)")
     _add_net_args(p)
     p.set_defaults(func=_cmd_train)
 
@@ -516,6 +527,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rollout processes when collecting the pool")
     p.add_argument("--schemes", default="", help="comma-separated subset "
                    "for pool collection")
+    p.add_argument("--scaling-workers", default="1,2,4",
+                   dest="scaling_workers",
+                   help="comma-separated data-parallel worker counts for "
+                        "the worker-scaling curve (empty to skip)")
+    p.add_argument("--scaling-steps", type=int, default=12,
+                   dest="scaling_steps",
+                   help="training steps per worker count in the scaling "
+                        "curve")
     p.add_argument("--out", default="BENCH_train.json")
     _add_net_args(p)
     p.set_defaults(func=_cmd_train_bench)
@@ -576,6 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("--steps", type=int, default=12,
                    help="training steps")
+    q.add_argument("--grad-workers", type=int, default=0, dest="grad_workers",
+                   help="data-parallel gradient worker processes for the "
+                        "train stage (0 = single-process)")
     q.add_argument("--task-timeout", type=float, default=None,
                    dest="task_timeout", metavar="SECONDS",
                    help="per-rollout watchdog deadline during collection")

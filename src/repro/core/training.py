@@ -140,6 +140,7 @@ def train_sage_on_pool(
     engine: str = "fast",
     prefetch: int = 0,
     sampler_workers: int = 1,
+    grad_workers: int = 0,
     chaos=None,
     guard=None,
 ) -> TrainingRun:
@@ -157,13 +158,37 @@ def train_sage_on_pool(
     batch assembly with the optimizer on ``sampler_workers`` threads
     (deterministic, but a different — still seed-reproducible — batch
     order; see :mod:`repro.train.sampler`).
+
+    ``grad_workers > 0`` (fast engine only) trains through N data-parallel
+    gradient processes — the
+    :class:`~repro.train.parallel.DataParallelTrainer`. Results are
+    bit-identical for any worker count dividing the grain width, but on a
+    *different* (per-(step, grain)) seed stream than ``grad_workers=0``.
     """
     if n_steps < n_checkpoints:
         raise ValueError("need at least one step per checkpoint")
-    if engine == "fast":
+    if grad_workers > 0 and engine != "fast":
+        raise ValueError("grad_workers needs the fast engine")
+    if grad_workers > 0 and prefetch:
+        raise ValueError(
+            "grad_workers and prefetch are mutually exclusive: the "
+            "data-parallel engine samples inside its worker processes"
+        )
+    if engine == "fast" and grad_workers > 0:
+        from repro.train.parallel import DataParallelTrainer
+
+        trainer: CRRTrainer = DataParallelTrainer(
+            pool,
+            net_config=net_config,
+            config=crr_config,
+            seed=seed,
+            grad_workers=grad_workers,
+            chaos=chaos,
+        )
+    elif engine == "fast":
         from repro.train.engine import FastCRRTrainer
 
-        trainer: CRRTrainer = FastCRRTrainer(
+        trainer = FastCRRTrainer(
             pool,
             net_config=net_config,
             config=crr_config,
@@ -195,9 +220,12 @@ def train_sage_on_pool(
             trainer.train(per_ckpt, log_every=log_every)
         run.checkpoints.append(trainer.policy.state_dict())
         run.checkpoint_steps.append(trainer.steps_done)
-    # the epochs are done: release the pool's concat cache (a second full
-    # copy of every trajectory for an in-memory pool, open shard handles
-    # for a sharded one) rather than pinning it for the process lifetime
+    # stop gradient-worker processes, then release the pool's concat cache
+    # (a second full copy of every trajectory for an in-memory pool, open
+    # shard handles for a sharded one) rather than pinning either for the
+    # process lifetime
+    if hasattr(trainer, "close"):
+        trainer.close()
     if hasattr(pool, "drop_cache"):
         pool.drop_cache()
     return run

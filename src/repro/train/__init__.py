@@ -13,11 +13,16 @@ restructures the step around sequence-level kernels:
 - :mod:`~repro.train.engine` — :class:`FastCRRTrainer`, the drop-in
   trainer combining both with the fused autograd path for the two
   gradient losses, plus ``.npz`` checkpoint/resume and per-phase timing.
+- :mod:`~repro.train.parallel` — :class:`DataParallelTrainer`, N gradient
+  worker processes over per-(step, grain) seed streams with a canonical
+  grain-order all-reduce: bit-identical results for any worker count.
 - :mod:`~repro.train.bench` — the fused-vs-legacy training-throughput
-  benchmark behind ``python -m repro train-bench`` / ``BENCH_train.json``.
+  benchmark behind ``python -m repro train-bench`` / ``BENCH_train.json``,
+  including the worker-scaling curve.
 """
 
 from repro.train.engine import FastCRRTrainer
+from repro.train.parallel import DataParallelTrainer
 from repro.train.sampler import SequenceSampler
 
-__all__ = ["FastCRRTrainer", "SequenceSampler"]
+__all__ = ["DataParallelTrainer", "FastCRRTrainer", "SequenceSampler"]

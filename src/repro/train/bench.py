@@ -54,6 +54,88 @@ def _time_engine(trainer, steps: int, warmup: int) -> dict:
     }
 
 
+def _param_digest(trainer) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    for net in (
+        trainer.policy, trainer.critic,
+        trainer.target_policy, trainer.target_critic,
+    ):
+        for _, p in sorted(net.named_parameters()):
+            h.update(np.ascontiguousarray(p.data).tobytes())
+    return h.hexdigest()
+
+
+def run_scaling_bench(
+    pool: PolicyPool,
+    steps: int = 12,
+    seed: int = 0,
+    net_config: Optional[NetworkConfig] = None,
+    crr_config: Optional[CRRConfig] = None,
+    worker_counts: Sequence[int] = (1, 2, 4),
+) -> dict:
+    """Worker-scaling curve for the data-parallel trainer.
+
+    Runs :class:`~repro.train.parallel.DataParallelTrainer` for ``steps``
+    steps at each worker count and records steps/sec, the per-phase second
+    totals, and the gradient-communication seconds per step. The run also
+    checks the determinism contract directly: the loss history and a
+    SHA-256 digest over every network's parameters must be identical
+    across all worker counts, and the report records whether they were.
+    """
+    import os
+
+    from repro.train.parallel import DEFAULT_GRAINS, DataParallelTrainer
+
+    net = net_config if net_config is not None else NetworkConfig()
+    cfg = crr_config if crr_config is not None else CRRConfig()
+    rows = {}
+    digests = []
+    histories = []
+    for n in worker_counts:
+        trainer = DataParallelTrainer(
+            pool, net_config=net, config=cfg, seed=seed, grad_workers=n
+        )
+        try:
+            t0 = time.perf_counter()
+            trainer.train(steps)
+            elapsed = time.perf_counter() - t0
+            grad_comm = trainer.phase_seconds.get("grad_comm", 0.0)
+            rows[str(n)] = {
+                "elapsed_s": round(elapsed, 4),
+                "steps_per_s": round(steps / elapsed, 2),
+                "ms_per_step": round(elapsed / steps * 1e3, 3),
+                "grad_comm_s_per_step": round(grad_comm / steps, 4),
+                "phase_seconds": {
+                    k: round(v, 4) for k, v in trainer.phase_seconds.items()
+                },
+            }
+            digests.append(_param_digest(trainer))
+            histories.append(
+                {k: list(v) for k, v in trainer.history.items()}
+            )
+        finally:
+            trainer.close()
+    bit_identical = (
+        all(d == digests[0] for d in digests)
+        and all(h == histories[0] for h in histories)
+    )
+    return {
+        "steps": steps,
+        "grains": DEFAULT_GRAINS,
+        "cpu_count": os.cpu_count(),
+        "workers": rows,
+        "bit_identical": bool(bit_identical),
+        "param_digest": digests[0] if digests else None,
+        "note": (
+            "single-CPU container: this curve is a correctness baseline "
+            "(bit-identity across worker counts), not a speedup "
+            "measurement; re-measure on multi-core hardware"
+        ) if (os.cpu_count() or 1) < max(worker_counts, default=1) else None,
+    }
+
+
 def run_train_bench(
     pool: Optional[PolicyPool] = None,
     steps: int = 30,
@@ -66,11 +148,17 @@ def run_train_bench(
     sampler_workers: int = 2,
     schemes: Optional[Sequence[str]] = None,
     collect_workers: int = 1,
+    scaling_workers: Optional[Sequence[int]] = (1, 2, 4),
+    scaling_steps: int = 12,
 ) -> dict:
     """Benchmark fused vs legacy CRR training; returns a report dict.
 
     ``pool=None`` collects the mini-scale pool first (the acceptance
     configuration); pass a loaded pool to skip collection.
+
+    ``scaling_workers`` adds a ``worker_scaling`` section measuring the
+    data-parallel trainer at each worker count (see
+    :func:`run_scaling_bench`); pass ``None`` or empty to skip it.
     """
     if pool is None:
         pool = _mini_pool(schemes=schemes, workers=collect_workers)
@@ -118,6 +206,17 @@ def run_train_bench(
         }
     )
 
+    scaling = None
+    if scaling_workers:
+        scaling = run_scaling_bench(
+            pool,
+            steps=scaling_steps,
+            seed=seed,
+            net_config=net,
+            crr_config=cfg,
+            worker_counts=tuple(scaling_workers),
+        )
+
     return {
         "steps": steps,
         "batch_size": cfg.batch_size,
@@ -138,6 +237,7 @@ def run_train_bench(
             "within_tolerance": bool(within),
             "rng_streams_identical": bool(rng_in_lockstep),
         },
+        "worker_scaling": scaling,
     }
 
 
@@ -171,6 +271,29 @@ def format_report(result: dict) -> str:
             "fused phases (s): "
             + "  ".join(f"{k}={v:.3f}" for k, v in ph.items())
         )
+    scaling = result.get("worker_scaling")
+    if scaling:
+        lines.append(
+            f"--- worker scaling ({scaling['steps']} steps, "
+            f"grains={scaling['grains']}, "
+            f"cpu_count={scaling['cpu_count']}) ---"
+        )
+        lines.append(
+            f"{'workers':>8} {'elapsed_s':>10} {'steps/s':>9} "
+            f"{'grad_comm s/step':>17}"
+        )
+        for n, row in scaling["workers"].items():
+            lines.append(
+                f"{n:>8} {row['elapsed_s']:>10.3f} "
+                f"{row['steps_per_s']:>9.2f} "
+                f"{row['grad_comm_s_per_step']:>17.4f}"
+            )
+        lines.append(
+            f"bit-identical across worker counts: "
+            f"{scaling['bit_identical']}"
+        )
+        if scaling.get("note"):
+            lines.append(f"note: {scaling['note']}")
     return "\n".join(lines)
 
 

@@ -87,6 +87,13 @@ class FastCRRTrainer(CRRTrainer):
         super().__init__(pool, net_config, config, seed, state_mask)
         self._chaos = chaos
         self._bufs = fp.BufferPool()
+        #: Worker layout, recorded in checkpoints: ``(0, 0)`` for this
+        #: single-process engine; :class:`~repro.train.parallel
+        #: .DataParallelTrainer` overrides with ``(N, grains)``. The layout
+        #: is part of the determinism contract (it selects the RNG-stream
+        #: decomposition), so resuming under a different one is refused.
+        self.grad_workers = 0
+        self.grad_grains = 0
         self.sampler = SequenceSampler(
             pool,
             self.cfg.batch_size,
@@ -130,26 +137,39 @@ class FastCRRTrainer(CRRTrainer):
         return out
 
     # ------------------------------------------------------------------
-    def train_step(self) -> Dict[str, float]:
-        """One fused policy-evaluation + policy-improvement iteration."""
-        cfg = self.cfg
-        bufs = self._bufs
-        t0 = time.perf_counter()
-
-        batch = self.sampler.next_batch()
-        if self._chaos is not None:
-            # next_batch() pre-increments, so the batch just drawn is
-            # batch_index - 1; sampled arrays are copies, mutation is safe
-            self._chaos.mutate_batch(self.sampler.batch_index - 1, batch)
+    # The step is split into gradient phases so the data-parallel engine
+    # can run each phase on a batch *slice* in a worker process and keep
+    # the optimizer/Polyak mutations in the parent. Op order is unchanged
+    # from the original monolithic step — results are bit-identical.
+    def _batch_context(self, batch: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Flat views shared by both gradient phases of one batch."""
         states = batch["states"]  # (B, L, D), already normalized
-        next_states = batch["next_states"]
-        actions = batch["actions"]  # (B, L) cwnd ratios
-        rewards = batch["rewards"] * cfg.reward_scale
+        rewards = batch["rewards"] * self.cfg.reward_scale
         b, l, _ = states.shape
         n = b * l
         # t-major flats: row t*B + i is batch row i at timestep t
-        log_a = log_action(actions)
-        log_a_flat = np.ascontiguousarray(log_a.T).reshape(n)
+        log_a = log_action(batch["actions"])
+        return {
+            "states": states,
+            "next_states": batch["next_states"],
+            "rewards": rewards,
+            "b": b,
+            "l": l,
+            "n": n,
+            "log_a_flat": np.ascontiguousarray(log_a.T).reshape(n),
+        }
+
+    def _critic_backward(self, ctx: Dict, rng: np.random.Generator) -> float:
+        """Bellman targets + Eq. 5 critic loss/backward (no optimizer step).
+
+        Leaves the loss gradients on ``self.critic``'s parameters and
+        returns the scalar loss; the caller clips and applies the update
+        (locally here, after an all-reduce in the parallel engine).
+        """
+        cfg = self.cfg
+        bufs = self._bufs
+        b, l, n = ctx["b"], ctx["l"], ctx["n"]
+        next_states = ctx["next_states"]
         t1 = time.perf_counter()
 
         # ---- targets (raw numpy, no graph) ----------------------------
@@ -166,7 +186,7 @@ class FastCRRTrainer(CRRTrainer):
         for t in range(l):
             sl = slice(t * b, (t + 1) * b)
             a_next[sl] = fp.gmm_sample(
-                glog[sl], gmu[sl], gls[sl], self.rng, cdf=gcdf[sl]
+                glog[sl], gmu[sl], gls[sl], rng, cdf=gcdf[sl]
             )
         p_tcrit = fp.params_of(self.target_critic)
         tgt_rec = fp.critic_recurrent_seq(
@@ -176,21 +196,37 @@ class FastCRRTrainer(CRRTrainer):
             self.target_critic, tgt_rec, log_action(a_next), bufs, "tcrit", p=p_tcrit
         )
         next_p = softmax_np(next_logits, out=bufs.get("tcrit.p", next_logits.shape))
-        rewards_flat = np.ascontiguousarray(rewards.T).reshape(n)
+        rewards_flat = np.ascontiguousarray(ctx["rewards"].T).reshape(n)
         target_probs = fp.project_target(
             self.critic.head, rewards_flat, cfg.gamma, next_p
         )
         t2 = time.perf_counter()
 
-        # ---- policy evaluation (critic update, Eq. 5) -----------------
-        rec = self.critic.recurrent_seq_fused(states)
-        feats = self.critic.q_features(rec, log_a_flat)
+        # ---- policy evaluation (critic loss, Eq. 5) -------------------
+        rec = self.critic.recurrent_seq_fused(ctx["states"])
+        feats = self.critic.q_features(rec, ctx["log_a_flat"])
         # flat mean over L*B rows == legacy mean of per-t means (equal B)
         critic_loss = self.critic.head.cross_entropy(feats, target_probs)
         self.opt_critic.zero_grad()
         critic_loss.backward()
-        clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
-        self.opt_critic.step()
+        t3 = time.perf_counter()
+
+        ph = self.phase_seconds
+        ph["targets"] += t2 - t1
+        ph["critic"] += t3 - t2
+        return float(critic_loss.data)
+
+    def _policy_backward(self, ctx: Dict, rng: np.random.Generator):
+        """Advantage filter + Eq. 6 policy loss/backward (no optimizer step).
+
+        Must run *after* the critic update for this batch: the filter reads
+        the freshly-updated critic. Returns ``(policy_loss, mean_f)``.
+        """
+        cfg = self.cfg
+        bufs = self._bufs
+        b, l, n = ctx["b"], ctx["l"], ctx["n"]
+        states = ctx["states"]
+        log_a_flat = ctx["log_a_flat"]
         t3 = time.perf_counter()
 
         # ---- advantage filter (raw numpy, no graph) -------------------
@@ -211,7 +247,7 @@ class FastCRRTrainer(CRRTrainer):
             cdf_t, mu_t, ls_t = pcdf[sl], pmu[sl], pls[sl]
             for j in range(m):
                 a_samp[j, sl] = fp.gmm_sample(
-                    plog[sl], mu_t, ls_t, self.rng, cdf=cdf_t
+                    plog[sl], mu_t, ls_t, rng, cdf=cdf_t
                 )
         # fold the data action + the m baseline draws into one
         # ((m+1)*N, ·) critic pass: rows [0:N] give Q(s, a_data), the
@@ -239,33 +275,56 @@ class FastCRRTrainer(CRRTrainer):
         policy_loss = (Tensor(f_flat) * logp * -1.0).mean()
         self.opt_policy.zero_grad()
         policy_loss.backward()
-        clip_grad_norm(self.policy.parameters(), cfg.grad_clip)
-        self.opt_policy.step()
         t5 = time.perf_counter()
 
-        # ---- target updates -------------------------------------------
-        # Same math and .data-rebinding semantics as Module.soft_update,
-        # minus the per-step named_parameters dict building.
-        tau = cfg.target_tau
+        ph = self.phase_seconds
+        ph["filter"] += t4 - t3
+        ph["policy"] += t5 - t4
+        return float(policy_loss.data), float(f_flat.mean())
+
+    def _polyak_update(self) -> None:
+        """Soft target updates — same math and .data-rebinding semantics
+        as ``Module.soft_update``, minus the per-step dict building."""
+        tau = self.cfg.target_tau
         for pairs in self._polyak_pairs:
             for tgt, src in pairs:
                 tgt.data = (1.0 - tau) * tgt.data + tau * src.data
-        t6 = time.perf_counter()
 
-        ph = self.phase_seconds
-        ph["sample"] += t1 - t0
-        ph["targets"] += t2 - t1
-        ph["critic"] += t3 - t2
-        ph["filter"] += t4 - t3
-        ph["policy"] += t5 - t4
-        ph["update"] += t6 - t5
-        self._train_seconds += t6 - t0
+    def train_step(self) -> Dict[str, float]:
+        """One fused policy-evaluation + policy-improvement iteration."""
+        cfg = self.cfg
+        t0 = time.perf_counter()
+        batch = self.sampler.next_batch()
+        if self._chaos is not None:
+            # next_batch() pre-increments, so the batch just drawn is
+            # batch_index - 1; sampled arrays are copies, mutation is safe
+            self._chaos.mutate_batch(self.sampler.batch_index - 1, batch)
+        ctx = self._batch_context(batch)
+        self.phase_seconds["sample"] += time.perf_counter() - t0
+
+        critic_loss = self._critic_backward(ctx, self.rng)
+        tc = time.perf_counter()
+        clip_grad_norm(self.critic.parameters(), cfg.grad_clip)
+        self.opt_critic.step()
+        self.phase_seconds["critic"] += time.perf_counter() - tc
+
+        policy_loss, mean_f = self._policy_backward(ctx, self.rng)
+        tp = time.perf_counter()
+        clip_grad_norm(self.policy.parameters(), cfg.grad_clip)
+        self.opt_policy.step()
+        self.phase_seconds["policy"] += time.perf_counter() - tp
+
+        tu = time.perf_counter()
+        self._polyak_update()
+        t_end = time.perf_counter()
+        self.phase_seconds["update"] += t_end - tu
+        self._train_seconds += t_end - t0
 
         self.steps_done += 1
         metrics = {
-            "critic_loss": float(critic_loss.data),
-            "policy_loss": float(policy_loss.data),
-            "mean_f": float(f_flat.mean()),
+            "critic_loss": critic_loss,
+            "policy_loss": policy_loss,
+            "mean_f": mean_f,
         }
         for k, v in metrics.items():
             self.history[k].append(v)
@@ -365,6 +424,8 @@ class FastCRRTrainer(CRRTrainer):
                 payload[f"{prefix}/m{i}"] = m
                 payload[f"{prefix}/v{i}"] = v
         payload["meta/steps_done"] = np.array([self.steps_done], dtype=np.int64)
+        payload["meta/grad_workers"] = np.array([self.grad_workers], dtype=np.int64)
+        payload["meta/grad_grains"] = np.array([self.grad_grains], dtype=np.int64)
         payload["meta/batch_index"] = np.array(
             [self.sampler.batch_index], dtype=np.int64
         )
@@ -376,6 +437,25 @@ class FastCRRTrainer(CRRTrainer):
         return payload
 
     def _apply_payload(self, data, keys) -> None:
+        # The worker layout selects the RNG-stream decomposition (one
+        # trainer stream vs per-(step, grain) streams), so a checkpoint is
+        # only resumable under the layout that wrote it. Checked before any
+        # state is mutated. Pre-parallel checkpoints carry no layout keys
+        # and mean the single-process layout (0, 0).
+        saved_workers = (
+            int(data["meta/grad_workers"][0]) if "meta/grad_workers" in keys else 0
+        )
+        saved_grains = (
+            int(data["meta/grad_grains"][0]) if "meta/grad_grains" in keys else 0
+        )
+        if (saved_workers, saved_grains) != (self.grad_workers, self.grad_grains):
+            raise ValueError(
+                f"checkpoint was saved with --grad-workers {saved_workers} "
+                f"(grains={saved_grains}) but this trainer runs "
+                f"--grad-workers {self.grad_workers} "
+                f"(grains={self.grad_grains}); the worker layout is part of "
+                "the determinism contract — resume with the same layout"
+            )
         nets = (
             ("policy", self.policy),
             ("critic", self.critic),

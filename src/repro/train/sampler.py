@@ -145,7 +145,14 @@ class SequenceSampler:
         with self._cond:
             while index not in self._ready:
                 if self._error is not None:
-                    raise RuntimeError("sampler worker failed") from self._error
+                    # Re-raise the *original* worker exception so consumers
+                    # can handle it by type (a poisoned pool raising
+                    # ValueError should look like a ValueError here, not a
+                    # generic RuntimeError). The traceback still points at
+                    # the worker thread's frame. close() stays safe after
+                    # this: dead workers have exited, live ones are
+                    # released via the slot semaphore.
+                    raise self._error
                 self._cond.wait(timeout=0.1)
             batch = self._ready.pop(index)
         self._slots.release()

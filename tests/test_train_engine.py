@@ -143,12 +143,30 @@ class TestSampler:
             resumed = s.next_batch()
         np.testing.assert_array_equal(resumed["states"], full[4]["states"])
 
-    def test_worker_error_propagates(self):
+    def test_worker_error_propagates_original_exception(self):
         pool = self._pool()
         s = SequenceSampler(pool, 4, 4, prefetch=1, seed=0)
         s.seq_len = 10_000  # longer than any trajectory -> draw must fail
-        with pytest.raises(RuntimeError, match="sampler worker"):
+        # the consumer sees the worker's *original* exception type, so it
+        # can be handled the same way a synchronous draw failure would be
+        with pytest.raises(ValueError, match="trajectory"):
             s.next_batch()
+        s.close()
+
+    def test_close_after_worker_crash(self):
+        pool = self._pool()
+        before = threading.active_count()
+        s = SequenceSampler(pool, 4, 4, prefetch=2, workers=2, seed=0)
+        s.seq_len = 10_000
+        with pytest.raises(ValueError):
+            s.next_batch()
+        s.close()  # must not hang or raise
+        assert threading.active_count() == before
+        # and the sampler is restartable after a crash via seek()
+        s.seq_len = 4
+        s.seek(0)
+        batch = s.next_batch()
+        assert batch["states"].shape[0] == 4
         s.close()
 
     def test_validation(self):
