@@ -1,0 +1,192 @@
+"""Throughput and signalling profile of the AQM disciplines.
+
+Three sections, written to ``BENCH_aqm.json``:
+
+- **enqueue/dequeue throughput** — packets pushed through each registered
+  discipline per wall-clock second with a synthetic multi-flow arrival
+  pattern (isolates per-packet AQM cost: FQ-CoDel's DRR machinery and
+  LearnedECN's forward pass vs the O(1) heuristics);
+- **signal profile** — drops vs CE marks each discipline produces on one
+  fixed overload pattern (ECT traffic), a quick sanity read on who drops
+  and who marks;
+- **learn loop** — wall time for the telemetry-to-predictor loop:
+  fit an :class:`~repro.netsim.ecn_model.EcnPredictor` on a synthetic
+  trace at CI scale.
+
+Runs two ways:
+
+- standalone: ``PYTHONPATH=src python benchmarks/bench_aqm.py`` (``--tiny``
+  for the CI smoke run);
+- under pytest-benchmark with the rest of the bench suite:
+  ``pytest benchmarks/bench_aqm.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.aqm_learn import fit_ecn_predictor  # noqa: E402
+from repro.netsim.aqm import aqm_names, make_aqm  # noqa: E402
+from repro.netsim.packet import Packet  # noqa: E402
+
+OUT_PATH = REPO / "BENCH_aqm.json"
+
+BUFFER_BYTES = 180_000
+
+
+def _arrivals(n: int, n_flows: int = 8, ect: bool = True):
+    """A deterministic multi-flow arrival pattern (1500 B MTU packets)."""
+    pkts = []
+    for i in range(n):
+        p = Packet(flow_id=i % n_flows, seq=i, size=1500)
+        p.ect = ect
+        pkts.append(p)
+    return pkts
+
+
+def _drive(q, pkts, drain_every: int = 2) -> float:
+    """Push arrivals through ``q``, dequeuing every ``drain_every`` packets."""
+    now = 0.0
+    t0 = time.perf_counter()
+    for i, p in enumerate(pkts):
+        q.current_rate_bps = 48e6
+        q.enqueue(p, now)
+        if i % drain_every == 0:
+            q.dequeue(now + 0.002)
+        now += 0.0002
+    while q.dequeue(now) is not None:
+        now += 0.0002
+    return time.perf_counter() - t0
+
+
+def bench_throughput(tiny: bool) -> dict:
+    """Packets/sec through each registered discipline."""
+    n = 5_000 if tiny else 50_000
+    rows = {}
+    for name in aqm_names():
+        q = make_aqm(name, BUFFER_BYTES)
+        wall = _drive(q, _arrivals(n))
+        rows[name] = {
+            "n_packets": n,
+            "elapsed_s": round(wall, 4),
+            "pkts_per_s_wall": round(n / wall, 0),
+        }
+    return rows
+
+
+def bench_signal_profile(tiny: bool) -> dict:
+    """Drops vs CE marks on one fixed ECT overload pattern."""
+    n = 2_000 if tiny else 10_000
+    rows = {}
+    for name in aqm_names():
+        q = make_aqm(name, 60_000)
+        _drive(q, _arrivals(n), drain_every=4)  # arrivals outpace service
+        rows[name] = {"drops": q.drops, "ecn_marks": q.ecn_marks}
+    return rows
+
+
+def bench_learn_loop(tiny: bool) -> dict:
+    """Fit wall-time on a synthetic separable trace at CI scale."""
+    n = 2_000 if tiny else 20_000
+    rng = np.random.default_rng(0)
+    occ = rng.uniform(0.0, 1.0, size=n)
+    feats = np.stack(
+        [occ, rng.uniform(0, 0.02, n), rng.uniform(0, 96e6, n),
+         np.full(n, 48e6)],
+        axis=1,
+    )
+    sojourns = np.where(occ > 0.6, 0.02, 0.001)
+    t0 = time.perf_counter()
+    _, report = fit_ecn_predictor(
+        {"features": feats, "sojourns": sojourns},
+        epochs=100 if tiny else 400,
+        seed=0,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "n_rows": n,
+        "epochs": report.epochs,
+        "accuracy": round(report.accuracy, 4),
+        "elapsed_s": round(wall, 3),
+    }
+
+
+def run_bench(tiny: bool = False) -> dict:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "scale": "tiny" if tiny else "small",
+        "throughput": bench_throughput(tiny),
+        "signal_profile": bench_signal_profile(tiny),
+        "learn_loop": bench_learn_loop(tiny),
+    }
+
+
+def write_report(result: dict, path: Path = OUT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=1) + "\n")
+
+
+def print_report(result: dict) -> None:
+    print(f"\n=== AQM bench ({result['scale']}, "
+          f"{result['cpu_count']} cores) ===")
+    for name, row in result["throughput"].items():
+        sig = result["signal_profile"][name]
+        print(f"{name:>12}: {row['pkts_per_s_wall']:>12,.0f} pkts/s  "
+              f"(overload: {sig['drops']} drops, "
+              f"{sig['ecn_marks']} marks)")
+    ll = result["learn_loop"]
+    print(f"{'learn loop':>12}: {ll['n_rows']} rows x {ll['epochs']} epochs "
+          f"in {ll['elapsed_s']:.2f}s (acc {ll['accuracy']:.3f})")
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark entry point
+# --------------------------------------------------------------------------
+
+
+def test_aqm_throughput(benchmark):
+    from conftest import once
+
+    result = once(benchmark, lambda: run_bench(tiny=True))
+    print_report(result)
+    write_report(result)
+    # every discipline sustains well past simulated line rate on any runner
+    for name, row in result["throughput"].items():
+        assert row["pkts_per_s_wall"] > 10_000, name
+    # the intelligent queues actually signal under overload
+    assert result["signal_profile"]["fq_codel"]["ecn_marks"] > 0
+    assert result["signal_profile"]["learned_ecn"]["ecn_marks"] > 0
+    assert result["learn_loop"]["accuracy"] > 0.9
+
+
+# --------------------------------------------------------------------------
+# standalone entry point
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="seconds-scale smoke run (CI)")
+    parser.add_argument("--out", type=Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    result = run_bench(tiny=args.tiny)
+    print_report(result)
+    write_report(result, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

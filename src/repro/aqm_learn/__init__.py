@@ -1,0 +1,22 @@
+"""Offline training of the learned ECN-marking queue.
+
+The intelligent-queue loop closes here: :mod:`repro.aqm_learn.trace` runs
+open-loop workloads over an instrumented bottleneck and logs queue
+telemetry with :class:`~repro.netsim.telemetry.QueueTelemetryRecorder`;
+:mod:`repro.aqm_learn.fit` turns those traces into a supervised dataset —
+*will this packet, admitted now, blow the delay target?* — and fits the
+:class:`~repro.netsim.ecn_model.EcnPredictor` that
+:class:`~repro.netsim.aqm.LearnedECN` evaluates per arrival.
+
+CLI: ``repro aqm trace`` / ``repro aqm learn``.
+"""
+
+from repro.aqm_learn.fit import FitReport, fit_ecn_predictor
+from repro.aqm_learn.trace import TraceSpec, collect_queue_traces
+
+__all__ = [
+    "FitReport",
+    "TraceSpec",
+    "collect_queue_traces",
+    "fit_ecn_predictor",
+]

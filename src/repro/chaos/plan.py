@@ -56,6 +56,9 @@ SITES: Dict[str, str] = {
     "serve.slow": "delay the target tick's forward pass by `param` seconds",
     "netsim.linkflap": "take the target topology link down for `param` "
                        "seconds, once, mid-run",
+    "netsim.aqmstall": "freeze the target link's AQM dequeue side for "
+                       "`param` seconds, once, mid-run (arrivals are still "
+                       "policed; service stops, then recovers)",
     "workload.burst": "inject `param` extra simultaneous sessions at the "
                       "target arrival index",
 }
@@ -72,6 +75,7 @@ DEFAULT_PARAMS: Dict[str, float] = {
     "serve.nan": 0.0,
     "serve.slow": 0.05,
     "netsim.linkflap": 0.5,
+    "netsim.aqmstall": 0.2,
     "workload.burst": 32.0,
 }
 

@@ -10,6 +10,9 @@ Usage::
     python -m repro serve-bench --flows 64 [--tiers] [--workload]
     python -m repro topo describe parking_lot --segments 3
     python -m repro topo matrix --schemes cubic,vegas --out matrix.json
+    python -m repro aqm matrix --schemes cubic,vegas --out aqm_matrix.json
+    python -m repro aqm trace --shards 2 --out-dir traces/
+    python -m repro aqm learn traces/queue_trace_*.npz --out ecn_model.npz
     python -m repro distill fit  --agent sage.npz --pool pool.npz --out tree.npz
     python -m repro distill eval --model tree.npz --agent sage.npz --pool pool.npz
     python -m repro train-bench --pool pool.npz
@@ -37,7 +40,10 @@ import numpy as np
 
 
 def _cmd_collect(args) -> int:
+    import dataclasses
+
     from repro.collector.environments import (
+        aqm_environments,
         topology_class_environments,
         training_environments,
     )
@@ -45,8 +51,20 @@ def _cmd_collect(args) -> int:
 
     schemes = args.schemes.split(",") if args.schemes else None
     store = args.store or None
+    aqms = [a.strip() for a in args.aqm.split(",") if a.strip()]
     if args.topology:
         envs = topology_class_environments(args.topology)
+        if aqms:
+            # rebuild the same scenario grid under the requested discipline(s)
+            envs = [
+                dataclasses.replace(
+                    env, env_id=f"{env.env_id}-{aqm.partition('@')[0]}", aqm=aqm
+                )
+                for aqm in aqms
+                for env in envs
+            ]
+    elif aqms:
+        envs = [env for aqm in aqms for env in aqm_environments(aqm)]
     else:
         envs = training_environments(args.scale)
     pool = collect_pool(
@@ -386,6 +404,10 @@ def _cmd_topo_describe(args) -> int:
         kwargs["n_segments"] = args.segments
     if args.senders is not None:
         kwargs["n_senders"] = args.senders
+    if args.aqm:
+        kwargs["aqm"] = args.aqm
+    if args.ecn_kb is not None:
+        kwargs["ecn_threshold_bytes"] = int(args.ecn_kb * 1000)
     print(describe_topology(args.topo_class, **kwargs))
     return 0
 
@@ -424,6 +446,89 @@ def _cmd_topo_matrix(args) -> int:
     return 0
 
 
+def _cmd_aqm_matrix(args) -> int:
+    from repro.evalx.aqm_matrix import DEFAULT_MATRIX_AQMS, run_aqm_matrix
+    from repro.evalx.leagues import Participant
+
+    aqms = (
+        tuple(a for a in args.aqms.split(",") if a)
+        if args.aqms else DEFAULT_MATRIX_AQMS
+    )
+    if args.ecn_model:
+        # route the trained marking model into the learned_ecn column
+        aqms = tuple(
+            f"learned_ecn@{args.ecn_model}" if a == "learned_ecn" else a
+            for a in aqms
+        )
+    participants = [
+        Participant.from_scheme(s) for s in args.schemes.split(",") if s
+    ]
+    if args.agent:
+        agent = _load_agent(
+            args.agent, args.enc_dim, args.gru_dim, args.components, args.atoms
+        )
+        if args.serve:
+            participants.append(Participant.from_served(agent.policy))
+        else:
+            participants.append(Participant.from_agent(agent))
+    matrix = run_aqm_matrix(
+        participants,
+        aqms=aqms,
+        duration=args.duration,
+        workers=args.workers,
+        ecn_threshold_bdp=args.ecn_bdp,
+        progress=(lambda msg: print(msg)) if args.verbose else None,
+    )
+    print(matrix.format_table())
+    if args.out:
+        matrix.save(args.out)
+        print(f"saved matrix to {args.out}")
+    return 0
+
+
+def _cmd_aqm_trace(args) -> int:
+    from repro.aqm_learn import TraceSpec, collect_queue_traces
+
+    spec = TraceSpec(
+        aqm=args.aqm,
+        bw_mbps=args.bw,
+        min_rtt=args.rtt,
+        buffer_bytes=int(args.buffer_kb * 1000),
+        duration=args.duration,
+        arrival_rate=args.arrival_rate,
+        scheme=args.scheme,
+    )
+    paths = collect_queue_traces(
+        spec,
+        shards=args.shards,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        progress=print,
+    )
+    print(f"wrote {len(paths)} telemetry shard(s) under {args.out_dir}")
+    return 0
+
+
+def _cmd_aqm_learn(args) -> int:
+    import json
+
+    from repro.aqm_learn import fit_ecn_predictor
+
+    model, report = fit_ecn_predictor(
+        args.traces,
+        target=args.target,
+        hidden=args.hidden,
+        epochs=args.epochs,
+        lr=args.lr,
+        seed=args.seed,
+        progress=(lambda msg: print(msg)) if args.verbose else None,
+    )
+    print(json.dumps(report.to_json(), indent=1))
+    model.save(args.out)
+    print(f"saved ECN predictor to {args.out}")
+    return 0
+
+
 def _add_workers_arg(p: argparse.ArgumentParser) -> None:
     import os
 
@@ -459,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="task_timeout", metavar="SECONDS",
                    help="per-rollout watchdog deadline; hung workers are "
                         "terminated and their tasks re-dispatched")
+    p.add_argument("--aqm", default="",
+                   help="collect under specific queue discipline(s): a "
+                        "comma-separated list of registered AQMs (taildrop, "
+                        "codel, pie, bode, fq_codel, learned_ecn[@ckpt]); "
+                        "alone it selects the AQM env family, with "
+                        "--topology it re-queues that family's links")
     p.add_argument("--topology", default="",
                    help="collect over one topology class's env set instead "
                         "of the dumbbell training grids (parking_lot, "
@@ -697,6 +808,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parking-lot segment count")
     q.add_argument("--senders", type=int, default=None,
                    help="incast fan-in")
+    q.add_argument("--aqm", default="",
+                   help="queue discipline on the class's congested links")
+    q.add_argument("--ecn-kb", type=float, default=None, dest="ecn_kb",
+                   help="DCTCP-style step-marking threshold (KB; incast "
+                        "egress, taildrop or natively marking AQMs)")
     q.set_defaults(func=_cmd_topo_describe)
 
     q = topo_sub.add_parser(
@@ -718,6 +834,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(q)
     _add_net_args(q)
     q.set_defaults(func=_cmd_topo_matrix)
+
+    p = sub.add_parser(
+        "aqm",
+        help="intelligent queues: the scheme x AQM matrix and the "
+             "learned-ECN trace/fit loop",
+    )
+    aqm_sub = p.add_subparsers(dest="aqm_command", required=True)
+
+    q = aqm_sub.add_parser(
+        "matrix",
+        help="winning-rate matrix: every scheme under every queue discipline",
+    )
+    q.add_argument("--schemes", default="cubic,newreno,vegas,westwood")
+    q.add_argument("--aqms", default="",
+                   help="comma-separated AQM columns (default: taildrop,"
+                        "codel,pie,fq_codel,learned_ecn)")
+    q.add_argument("--ecn-model", default="", dest="ecn_model",
+                   help="trained predictor .npz for the learned_ecn column "
+                        "(default: its seeded threshold fallback)")
+    q.add_argument("--ecn-bdp", type=float, default=0.0, dest="ecn_bdp",
+                   help="arm DCTCP-style step marking at this fraction of "
+                        "the BDP on threshold-capable queues")
+    q.add_argument("--duration", type=float, default=12.0,
+                   help="seconds per environment rollout")
+    q.add_argument("--agent", default="",
+                   help="also enter a trained agent .npz")
+    q.add_argument("--serve", action="store_true",
+                   help="run the agent through the serving engine")
+    q.add_argument("--out", default="",
+                   help="write the matrix JSON here (the CI artifact)")
+    q.add_argument("--verbose", action="store_true")
+    _add_workers_arg(q)
+    _add_net_args(q)
+    q.set_defaults(func=_cmd_aqm_matrix)
+
+    q = aqm_sub.add_parser(
+        "trace",
+        help="log queue-telemetry shards from instrumented workloads",
+    )
+    q.add_argument("--aqm", default="codel",
+                   help="teacher discipline on the instrumented bottleneck")
+    q.add_argument("--bw", type=float, default=24.0, help="bottleneck Mbps")
+    q.add_argument("--rtt", type=float, default=0.04,
+                   help="propagation RTT, seconds")
+    q.add_argument("--buffer-kb", type=float, default=90.0, dest="buffer_kb")
+    q.add_argument("--duration", type=float, default=6.0,
+                   help="arrival window per shard, seconds")
+    q.add_argument("--arrival-rate", type=float, default=40.0,
+                   dest="arrival_rate", help="workload sessions/second")
+    q.add_argument("--scheme", default="cubic",
+                   help="CC scheme driving the traffic")
+    q.add_argument("--shards", type=int, default=2)
+    q.add_argument("--seed", type=int, default=1)
+    q.add_argument("--out-dir", default=".", dest="out_dir")
+    q.set_defaults(func=_cmd_aqm_trace)
+
+    q = aqm_sub.add_parser(
+        "learn",
+        help="fit the ECN-marking predictor from telemetry shards",
+    )
+    q.add_argument("traces", nargs="+", help="queue_trace_*.npz shards")
+    q.add_argument("--target", type=float, default=0.005,
+                   help="sojourn-time target the predictor learns to guard")
+    q.add_argument("--hidden", type=int, default=8,
+                   help="hidden units (0 = logistic regression)")
+    q.add_argument("--epochs", type=int, default=400)
+    q.add_argument("--lr", type=float, default=0.5)
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--out", default="ecn_model.npz")
+    q.add_argument("--verbose", action="store_true")
+    q.set_defaults(func=_cmd_aqm_learn)
 
     p = sub.add_parser(
         "distill",

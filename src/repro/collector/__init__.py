@@ -32,6 +32,7 @@ from repro.collector.rewards import (
     RewardConfig,
 )
 from repro.collector.environments import (
+    aqm_environments,
     EnvConfig,
     build_network,
     build_scenario,
@@ -70,6 +71,7 @@ __all__ = [
     "EnvConfig",
     "build_network",
     "build_scenario",
+    "aqm_environments",
     "incast_environments",
     "parking_lot_environments",
     "proxy_split_environments",

@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.netsim.aqm import make_aqm
+from repro.netsim.aqm import ECN_CAPABLE_AQMS, make_aqm
 from repro.netsim.engine import EventLoop
 from repro.netsim.network import Network
 from repro.netsim.topo import (
@@ -149,11 +149,18 @@ class EnvConfig:
 def build_network(env: EnvConfig) -> Tuple[EventLoop, Network]:
     """Instantiate the simulator for one (dumbbell) environment."""
     loop = EventLoop()
-    if env.ecn_threshold_bdp > 0:
-        if env.aqm.lower() not in ("taildrop", "tdrop"):
-            raise ValueError("ECN marking is only supported on taildrop queues")
+    aqm_key = env.aqm.partition("@")[0].lower()
+    if env.ecn_threshold_bdp > 0 and aqm_key in ("taildrop", "tdrop"):
+        # DCTCP-style step marking is a taildrop knob; natively marking
+        # disciplines (fq_codel, learned_ecn) signal on their own schedule.
         threshold = max(int(env.ecn_threshold_bdp * env.bdp_bytes), 1500)
         aqm = make_aqm(env.aqm, env.buffer_bytes, ecn_threshold_bytes=threshold)
+    elif env.ecn_threshold_bdp > 0 and aqm_key not in ECN_CAPABLE_AQMS:
+        raise ValueError(
+            f"AQM {env.aqm!r} cannot honour ecn_threshold_bdp: it neither "
+            f"takes a step-marking threshold (taildrop) nor marks natively "
+            f"({sorted(ECN_CAPABLE_AQMS)})"
+        )
     else:
         aqm = make_aqm(env.aqm, env.buffer_bytes)
     network = Network(loop, env.rate_process(), aqm)
@@ -423,6 +430,56 @@ def proxy_split_environments(
                 topology="proxy_split",
             )
         )
+    return envs
+
+
+def aqm_environments(
+    aqm: str,
+    bws: Tuple[float, ...] = (24.0, 96.0),
+    rtts: Tuple[float, ...] = (0.04,),
+    buffers: Tuple[float, ...] = (2.0,),
+    duration: float = 12.0,
+    ecn_threshold_bdp: float = 0.0,
+) -> List[EnvConfig]:
+    """A representative dumbbell env set under one queue discipline.
+
+    The (scheme x AQM) co-evolution league evaluates every participant over
+    these: a flat single-flow slice plus one cubic-friendliness env, all
+    with the bottleneck buffer managed by ``aqm``. ``ecn_threshold_bdp``
+    arms DCTCP-style step marking where the discipline supports a threshold
+    (taildrop); natively marking AQMs (``fq_codel``, ``learned_ecn``) signal
+    on their own schedule and ignore it.
+    """
+    key = aqm.partition("@")[0].lower()
+    threshold = ecn_threshold_bdp if key in ("taildrop", "tdrop") else 0.0
+    tag = key.replace("_", "")
+    envs: List[EnvConfig] = []
+    for bw, rtt, buf in itertools.product(bws, rtts, buffers):
+        envs.append(
+            EnvConfig(
+                env_id=f"aqm-{tag}-bw{bw:g}-rtt{rtt * 1000:g}-q{buf:g}",
+                kind="flat",
+                bw_mbps=bw,
+                min_rtt=rtt,
+                buffer_bdp=buf,
+                duration=duration,
+                aqm=aqm,
+                ecn_threshold_bdp=threshold,
+            )
+        )
+    envs.append(
+        EnvConfig(
+            env_id=f"aqm-{tag}-bw{bws[0]:g}-rtt{rtts[0] * 1000:g}-vs-cubic",
+            kind="flat",
+            bw_mbps=bws[0],
+            min_rtt=rtts[0],
+            buffer_bdp=max(buffers),
+            n_competing_cubic=1,
+            duration=duration,
+            aqm=aqm,
+            ecn_threshold_bdp=threshold,
+        )
+    )
     return envs
 
 

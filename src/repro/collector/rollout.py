@@ -56,6 +56,9 @@ class RolloutResult:
     rewards: np.ndarray  # (T,)
     stats: FlowStats
     competitor_stats: List[FlowStats] = field(default_factory=list)
+    #: queue-level congestion signals summed over the scenario's links
+    queue_drops: int = 0
+    ecn_marks: int = 0
 
     @property
     def length(self) -> int:
@@ -161,6 +164,7 @@ def _run(
     for comp in competitors:
         comp.stop()
 
+    link_stats = network.topology.link_stats()
     return RolloutResult(
         env=env,
         scheme=flow.cc.name if agent is None else getattr(agent, "name", "agent"),
@@ -169,6 +173,8 @@ def _run(
         rewards=reward_arr[:n_ticks].copy(),
         stats=flow.stats(),
         competitor_stats=[c.stats() for c in competitors],
+        queue_drops=sum(s["drops"] for s in link_stats),
+        ecn_marks=sum(s["ecn_marks"] for s in link_stats),
     )
 
 

@@ -11,7 +11,10 @@ The public surface:
 - :class:`~repro.netsim.engine.EventLoop` — the simulation clock.
 - :class:`~repro.netsim.packet.Packet` — what flows through the network.
 - :class:`~repro.netsim.link.Link` — the bottleneck: queue + service process.
-- :mod:`~repro.netsim.aqm` — TailDrop, HeadDrop, CoDel, PIE, BoDe.
+- :mod:`~repro.netsim.aqm` — TailDrop, HeadDrop, CoDel, PIE, BoDe, plus the
+  intelligent queues: FQCoDel and LearnedECN (with
+  :mod:`~repro.netsim.ecn_model` holding the marking predictor and
+  :mod:`~repro.netsim.telemetry` the queue-trace recorder that trains it).
 - :mod:`~repro.netsim.traces` — capacity processes (flat, step, cellular,
   Internet-path).
 - :class:`~repro.netsim.network.Network` — wires senders, the bottleneck,
@@ -27,13 +30,19 @@ from repro.netsim.link import Link
 from repro.netsim.network import Network, PathConfig, make_network
 from repro.netsim.aqm import (
     AQM,
+    ECN_CAPABLE_AQMS,
     TailDrop,
     HeadDrop,
     CoDel,
     PIE,
     BoDe,
+    FQCoDel,
+    LearnedECN,
+    aqm_names,
     make_aqm,
 )
+from repro.netsim.ecn_model import EcnPredictor
+from repro.netsim.telemetry import QueueTelemetryRecorder
 from repro.netsim.traces import (
     RateProcess,
     FlatRate,
@@ -71,6 +80,12 @@ __all__ = [
     "CoDel",
     "PIE",
     "BoDe",
+    "FQCoDel",
+    "LearnedECN",
+    "ECN_CAPABLE_AQMS",
+    "EcnPredictor",
+    "QueueTelemetryRecorder",
+    "aqm_names",
     "make_aqm",
     "RateProcess",
     "FlatRate",

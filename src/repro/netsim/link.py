@@ -46,6 +46,11 @@ class Link:
         self._busy = False
         self.delivered_packets = 0
         self.delivered_bytes = 0
+        #: Optional :class:`~repro.netsim.telemetry.QueueTelemetryRecorder`;
+        #: None keeps the fast path untouched (event streams bit-identical).
+        self.telemetry = None
+        self._stalled_until = 0.0
+        self.stalls = 0
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
@@ -53,18 +58,47 @@ class Link:
         now = self.loop.now
         self.aqm.current_rate_bps = self.rate.rate_at(now)
         accepted = self.aqm.enqueue(pkt, now)
+        if accepted and self.telemetry is not None:
+            self.telemetry.on_enqueue(self.aqm, pkt, now)
         if accepted and not self._busy:
             self._serve_next()
         return accepted
 
     # ------------------------------------------------------------------
+    def schedule_stall(self, at: float, duration: float) -> None:
+        """Freeze the dequeue side for ``duration`` seconds starting at ``at``.
+
+        The buffer keeps accepting (and AQM-policing) arrivals; only service
+        stops — the chaos model of a head-of-line scheduler hiccup.
+        """
+        if duration <= 0:
+            return
+        self.loop.call_later(
+            max(at - self.loop.now, 0.0), lambda d=duration: self._begin_stall(d)
+        )
+
+    def _begin_stall(self, duration: float) -> None:
+        self._stalled_until = self.loop.now + duration
+        self.stalls += 1
+        self.loop.call_later(duration, self._end_stall)
+
+    def _end_stall(self) -> None:
+        if not self._busy and self.loop.now >= self._stalled_until:
+            self._serve_next()
+
+    # ------------------------------------------------------------------
     def _serve_next(self) -> None:
         now = self.loop.now
+        if now < self._stalled_until:
+            self._busy = False
+            return
         self.aqm.current_rate_bps = self.rate.rate_at(now)
         pkt = self.aqm.dequeue(now)
         if pkt is None:
             self._busy = False
             return
+        if self.telemetry is not None:
+            self.telemetry.on_dequeue(pkt, now)
         self._busy = True
         tx_time = pkt.size * 8.0 / max(self.rate.rate_at(now), 1e3)
         self.loop.call_later(tx_time, lambda p=pkt: self._finish(p))
@@ -87,3 +121,4 @@ class Link:
         return self.aqm.queue_delay_estimate()
 
     drops = property(lambda self: self.aqm.drops)
+    ecn_marks = property(lambda self: self.aqm.ecn_marks)

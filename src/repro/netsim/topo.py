@@ -39,7 +39,7 @@ import random as _random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.netsim.aqm import AQM, make_aqm
+from repro.netsim.aqm import AQM, ECN_CAPABLE_AQMS, make_aqm
 from repro.netsim.engine import EventLoop
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
@@ -155,6 +155,13 @@ class TopoLink:
     def _go_up(self) -> None:
         self.up = True
 
+    # -- chaos: one-shot AQM dequeue stall -------------------------------
+    def schedule_stall(self, at: float, stall_for: float) -> None:
+        """Freeze this link's dequeue side for ``stall_for`` seconds at ``at``."""
+        if stall_for <= 0:
+            raise ValueError(f"stall_for must be positive, got {stall_for}")
+        self.inner.schedule_stall(at, stall_for)
+
     # -- introspection ----------------------------------------------------
     @property
     def queue_bytes(self) -> int:
@@ -164,6 +171,11 @@ class TopoLink:
     def drops(self) -> int:
         """Total drops on this link: AQM + random loss + down time."""
         return self.inner.drops + self.drops_loss + self.drops_down
+
+    @property
+    def ecn_marks(self) -> int:
+        """CE marks applied by this link's AQM."""
+        return self.inner.aqm.ecn_marks
 
     def queue_delay(self) -> float:
         return self.inner.queue_delay()
@@ -438,13 +450,39 @@ class Topology:
         for link in self.links:
             rate = link.inner.rate.rate_at(self.loop.now)
             aqm = link.inner.aqm
+            kw = ", ".join(
+                f"{k}={v}" for k, v in sorted(aqm.params().items())
+                if v is not None
+            )
             lines.append(
                 f"  link {link.name:16s} {rate / 1e6:8.1f} Mbps  "
                 f"prop {link.prop_delay * 1e3:6.2f} ms  "
-                f"{type(aqm).__name__}({aqm.capacity_bytes} B)"
+                f"{type(aqm).__name__}({aqm.capacity_bytes} B"
+                + (f", {kw}" if kw else "")
+                + ")"
                 + (f"  loss {link.loss:.2%}" if link.loss else "")
             )
         return "\n".join(lines)
+
+    def link_stats(self) -> List[dict]:
+        """Per-link observability: drops (by cause), ECN marks, backlog."""
+        stats = []
+        for link in self.links:
+            aqm = link.inner.aqm
+            stats.append({
+                "name": link.name,
+                "aqm": type(aqm).__name__,
+                "drops": link.drops,
+                "drops_aqm": aqm.drops,
+                "drops_loss": link.drops_loss,
+                "drops_down": link.drops_down,
+                "ecn_marks": aqm.ecn_marks,
+                "enqueues": aqm.enqueues,
+                "delivered_packets": link.inner.delivered_packets,
+                "queue_bytes": link.queue_bytes,
+                "stalls": link.inner.stalls,
+            })
+        return stats
 
     # ------------------------------------------------------------------
     def view(self, nodes: Sequence[str]) -> "PathView":
@@ -613,7 +651,15 @@ def incast_topology(
     prop = min_rtt / 4.0  # half the one-way delay on each of the two hops
     egress_kw = {}
     if ecn_threshold_bytes > 0:
-        egress_kw["ecn_threshold_bytes"] = ecn_threshold_bytes
+        key = aqm.partition("@")[0].lower()
+        if key in ("taildrop", "tdrop"):
+            egress_kw["ecn_threshold_bytes"] = ecn_threshold_bytes
+        elif key not in ECN_CAPABLE_AQMS:
+            raise ValueError(
+                f"AQM {aqm!r} cannot honour ecn_threshold_bytes: it neither "
+                f"takes a step-marking threshold (taildrop) nor marks "
+                f"natively ({sorted(ECN_CAPABLE_AQMS)})"
+            )
     topo.add_link(
         "sw", "rcv", FlatRate(bw_mbps * 1e6),
         _aqm_for(aqm, buffer_bytes, **egress_kw),

@@ -63,6 +63,10 @@ class FctSummary:
     mean_slowdown: float
     p99_slowdown: float
     buckets: Dict[str, dict]
+    #: queue-level congestion signals summed over the topology's links
+    #: (observability: how the AQMs treated this workload's packets)
+    drops: int = 0
+    ecn_marks: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -74,6 +78,8 @@ class FctSummary:
         records: List[FctRecord],
         base_rtt: float,
         bottleneck_bps: float,
+        drops: int = 0,
+        ecn_marks: int = 0,
     ) -> "FctSummary":
         done = [r for r in records if r.completed]
         fcts = np.asarray([r.fct for r in done], dtype=np.float64)
@@ -103,6 +109,8 @@ class FctSummary:
             mean_slowdown=float(np.mean(slows)) if len(done) else 0.0,
             p99_slowdown=float(np.percentile(slows, 99)) if len(done) else 0.0,
             buckets=buckets,
+            drops=drops,
+            ecn_marks=ecn_marks,
         )
 
     def to_json(self) -> dict:
@@ -117,5 +125,7 @@ class FctSummary:
             "fct_mean_ms": round(self.mean_s * 1e3, 4),
             "mean_slowdown": round(self.mean_slowdown, 4),
             "p99_slowdown": round(self.p99_slowdown, 4),
+            "drops": self.drops,
+            "ecn_marks": self.ecn_marks,
             "buckets": self.buckets,
         }

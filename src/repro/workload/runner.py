@@ -23,13 +23,19 @@ from repro.workload.generator import (
     schedule_digest,
 )
 
-__all__ = ["WorkloadResult", "run_workload", "main_paths", "apply_linkflap"]
+__all__ = [
+    "WorkloadResult", "run_workload", "main_paths",
+    "apply_linkflap", "apply_aqmstall",
+]
 
 #: workload flow ids start here, clear of collector/serve conventions
 FLOW_ID_BASE = 1_000_000
 
 #: fraction of the arrival window at which an armed link flap fires
 LINKFLAP_AT_FRAC = 0.25
+
+#: fraction of the arrival window at which an armed AQM stall fires
+AQMSTALL_AT_FRAC = 0.4
 
 
 def main_paths(topology: Topology) -> List[Tuple[str, ...]]:
@@ -85,6 +91,30 @@ def apply_linkflap(
     return flapped
 
 
+def apply_aqmstall(
+    topology: Topology, chaos: Optional[object], duration: float
+) -> List[int]:
+    """Arm any ``netsim.aqmstall`` faults against this topology's links.
+
+    Each armed fault (target = link index) freezes that link's dequeue side
+    at ``AQMSTALL_AT_FRAC * duration`` for ``param`` seconds — the queue
+    keeps policing arrivals but serves nothing, then recovers. Faults are
+    consumed on arming, so a crashed-and-retried run replays clean.
+    Returns the stalled link indices.
+    """
+    if chaos is None:
+        return []
+    stalled = []
+    for link in topology.links:
+        spec = chaos.take(
+            "netsim.aqmstall", link.index, detail=f"stall {link.name}"
+        )
+        if spec is not None:
+            link.schedule_stall(AQMSTALL_AT_FRAC * duration, float(spec.param))
+            stalled.append(link.index)
+    return stalled
+
+
 @dataclass
 class WorkloadResult:
     """Outcome of one open-loop workload run."""
@@ -97,6 +127,8 @@ class WorkloadResult:
     n_requests: int
     peak_concurrent: int
     flapped_links: List[int] = field(default_factory=list)
+    stalled_links: List[int] = field(default_factory=list)
+    link_stats: List[dict] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -105,6 +137,8 @@ class WorkloadResult:
             "n_requests": self.n_requests,
             "peak_concurrent": self.peak_concurrent,
             "flapped_links": self.flapped_links,
+            "stalled_links": self.stalled_links,
+            "links": self.link_stats,
             "fct": self.summary.to_json(),
         }
 
@@ -237,6 +271,7 @@ def run_workload(
     digest = schedule_digest(schedule)
     route_list = list(paths) if paths is not None else main_paths(topology)
     flapped = apply_linkflap(topology, chaos, cfg.duration)
+    stalled = apply_aqmstall(topology, chaos, cfg.duration)
 
     runner = _Runner(topology, route_list, scheme, min_rtt, initial_cwnd)
     for arrival in schedule:
@@ -255,7 +290,12 @@ def run_workload(
     base_rtt = max(min_rtt, sum(l.prop_delay for l in first_links) * 2.0)
 
     records = sorted(runner.records, key=lambda r: (r.start, r.flow_id))
-    summary = FctSummary.from_records(records, base_rtt, bottleneck_bps)
+    link_stats = topology.link_stats()
+    summary = FctSummary.from_records(
+        records, base_rtt, bottleneck_bps,
+        drops=sum(s["drops"] for s in link_stats),
+        ecn_marks=sum(s["ecn_marks"] for s in link_stats),
+    )
     return WorkloadResult(
         config=cfg,
         records=records,
@@ -265,4 +305,6 @@ def run_workload(
         n_requests=runner.n_requests,
         peak_concurrent=runner.peak_concurrent,
         flapped_links=flapped,
+        stalled_links=stalled,
+        link_stats=link_stats,
     )

@@ -191,3 +191,68 @@ class TestTopoCli:
         assert set(saved["rates"]) == {"dumbbell", "proxy_split"}
         for per_class in saved["rates"].values():
             assert set(per_class) == {"cubic", "vegas"}
+
+
+class TestAqmCli:
+    def test_aqm_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["aqm"])
+
+    def test_aqm_matrix_args(self):
+        args = build_parser().parse_args(
+            ["aqm", "matrix", "--schemes", "cubic,dctcp",
+             "--aqms", "taildrop,fq_codel", "--duration", "4",
+             "--ecn-model", "m.npz", "--out", "aqm.json"]
+        )
+        assert args.schemes == "cubic,dctcp"
+        assert args.aqms == "taildrop,fq_codel"
+        assert args.ecn_model == "m.npz" and args.out == "aqm.json"
+
+    def test_aqm_trace_args(self):
+        args = build_parser().parse_args(
+            ["aqm", "trace", "--aqm", "pie", "--shards", "3",
+             "--out-dir", "traces/"]
+        )
+        assert args.aqm == "pie" and args.shards == 3
+
+    def test_aqm_learn_args(self):
+        args = build_parser().parse_args(
+            ["aqm", "learn", "a.npz", "b.npz", "--epochs", "50",
+             "--out", "model.npz"]
+        )
+        assert args.traces == ["a.npz", "b.npz"] and args.epochs == 50
+
+    def test_collect_aqm_flag(self):
+        args = build_parser().parse_args(["collect", "--aqm", "fq_codel"])
+        assert args.aqm == "fq_codel"
+
+    def test_topo_describe_aqm_flags(self):
+        args = build_parser().parse_args(
+            ["topo", "describe", "incast", "--aqm", "fq_codel",
+             "--ecn-kb", "30"]
+        )
+        assert args.aqm == "fq_codel" and args.ecn_kb == 30.0
+
+    def test_trace_learn_matrix_loop(self, tmp_path, capsys):
+        """The aqm-smoke CI loop end to end at micro scale."""
+        traces = tmp_path / "traces"
+        model = str(tmp_path / "ecn.npz")
+        assert main([
+            "aqm", "trace", "--aqm", "codel", "--duration", "2",
+            "--shards", "1", "--out-dir", str(traces),
+        ]) == 0
+        shards = sorted(str(p) for p in traces.glob("*.npz"))
+        assert shards
+        assert main([
+            "aqm", "learn", *shards, "--epochs", "30", "--out", model,
+        ]) == 0
+        out_path = tmp_path / "aqm_matrix.json"
+        assert main([
+            "aqm", "matrix", "--schemes", "cubic", "--aqms",
+            "taildrop,learned_ecn", "--ecn-model", model,
+            "--duration", "2", "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        import json
+        saved = json.loads(out_path.read_text())
+        assert set(saved["rates"]) == {"taildrop", "learned_ecn"}

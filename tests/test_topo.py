@@ -275,6 +275,29 @@ class TestFactories:
         out = describe_topology("proxy_split")
         assert "wan" in out and "lan" in out and "main path" in out
 
+    def test_describe_pins_discipline_kwargs(self):
+        out = describe_topology("incast", aqm="fq_codel")
+        assert "FQCoDel" in out
+        assert "n_queues=32" in out and "quantum=1514" in out
+
+    def test_describe_pins_ecn_threshold(self):
+        out = describe_topology("incast", ecn_threshold_bytes=30_000)
+        assert "ecn_threshold_bytes=30000" in out
+
+    def test_incast_rejects_threshold_on_loss_only_aqm(self):
+        with pytest.raises(ValueError):
+            incast_topology(n_senders=2, aqm="codel", ecn_threshold_bytes=30_000)
+
+    def test_link_stats_surface(self):
+        topo = incast_topology(n_senders=2, aqm="fq_codel")
+        stats = topo.link_stats()
+        assert len(stats) == len(topo.links)
+        row = stats[0]
+        for key in ("name", "aqm", "drops", "ecn_marks", "enqueues",
+                    "queue_bytes", "stalls"):
+            assert key in row
+        assert row["ecn_marks"] == 0 and row["stalls"] == 0
+
     def test_incast_shape(self):
         topo = incast_topology(n_senders=4)
         assert sum(1 for n in topo.nodes.values() if n.kind == "host") == 5
