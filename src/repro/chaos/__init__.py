@@ -16,13 +16,16 @@ from repro.chaos.plan import (
     FaultPlan,
     FaultSpec,
 )
+from repro.chaos.process import DEFAULT_RATES, FaultProcess
 
 __all__ = [
     "DEFAULT_PARAMS",
+    "DEFAULT_RATES",
     "DEFAULT_UNIVERSES",
     "SITES",
     "FaultInjector",
     "FaultPlan",
+    "FaultProcess",
     "FaultSpec",
     "FiredFault",
 ]

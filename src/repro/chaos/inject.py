@@ -34,12 +34,18 @@ __all__ = ["FaultInjector", "FiredFault"]
 
 @dataclass
 class FiredFault:
-    """One fault the injector armed or fired, for the audit trail."""
+    """One fault the injector armed or fired, for the audit trail.
+
+    ``at`` is the ``time.monotonic()`` instant the fault was taken — the
+    soak harness subtracts it from the moment recovery completes to get a
+    per-fault time-to-recovery.
+    """
 
     site: str
     target: int
     param: float
     detail: str
+    at: float = 0.0
 
 
 class FaultInjector:
@@ -65,7 +71,7 @@ class FaultInjector:
             self.fired.append(
                 FiredFault(
                     site=spec.site, target=spec.target, param=spec.param,
-                    detail=detail or "fired",
+                    detail=detail or "fired", at=time.monotonic(),
                 )
             )
         return spec

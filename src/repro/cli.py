@@ -18,9 +18,11 @@ Usage::
     python -m repro train-bench --pool pool.npz
     python -m repro pipeline run --workdir run/ [--fault-plan plan.json]
     python -m repro pipeline resume --workdir run/
-    python -m repro pipeline status --workdir run/
+    python -m repro pipeline status --workdir run/ [--json]
     python -m repro chaos plan --seed 7 --faults collector.crash,train.nan \
         --out plan.json
+    python -m repro soak --workdir soak/ --duration 60 --seed 0 \
+        --out BENCH_soak.json
     python -m repro pool pack pool.npz shards/     # legacy .npz -> shards
     python -m repro pool merge w0/ w1/ -o shards/  # per-worker dirs -> one
     python -m repro pool verify shards/            # audit + quarantine
@@ -33,6 +35,7 @@ load-bearing beyond argument parsing.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -361,8 +364,55 @@ def _cmd_pipeline_status(args) -> int:
         print(f"no readable pipeline state at {state_path}: {exc}",
               file=sys.stderr)
         return 1
-    print(state.format_status())
+    if args.json:
+        print(json.dumps(state.status_json(), indent=1))
+    else:
+        print(state.format_status())
     return 0
+
+
+def _cmd_soak(args) -> int:
+    from repro.soak import SoakConfig, run_soak
+    from repro.soak.report import format_soak_report
+
+    rates = None
+    if args.rates:
+        from repro.chaos import SITES
+
+        rates = {}
+        for entry in args.rates.split(","):
+            site, _, rate = entry.partition("=")
+            if site not in SITES:
+                print(f"unknown fault site {site!r}; "
+                      f"valid: {', '.join(sorted(SITES))}", file=sys.stderr)
+                return 1
+            rates[site] = float(rate) if rate else 0.0
+    cfg = SoakConfig(
+        workdir=args.workdir,
+        duration_s=args.duration,
+        min_rounds=args.min_rounds,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        phases=tuple(args.phases.split(",")),
+        rates=rates,
+        rate_scale=args.rate_scale,
+        scale=args.scale,
+        schemes=tuple(args.schemes.split(",")),
+        steps_per_round=args.steps_per_round,
+        serve_ticks=args.serve_ticks,
+        serve_flows=args.serve_flows,
+        workload_duration=args.workload_duration,
+        arrival_rate=args.arrival_rate,
+        slo_mttr_p50_s=args.slo_mttr_p50,
+        slo_mttr_p99_s=args.slo_mttr_p99,
+        slo_min_sites=args.min_sites,
+        check_identity=not args.no_identity,
+    )
+    report = run_soak(cfg, out_path=args.out or None)
+    print(format_soak_report(report))
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0 if report["passed"] else 1
 
 
 def _cmd_chaos_plan(args) -> int:
@@ -730,7 +780,47 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show stage states and the fault/recovery log"
     )
     q.add_argument("--workdir", required=True)
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable output (stage states, retries, "
+                        "fault log)")
     q.set_defaults(func=_cmd_pipeline_status)
+
+    p = sub.add_parser(
+        "soak",
+        help="run the pipeline under continuous chaos and check "
+             "recovery SLOs",
+    )
+    p.add_argument("--workdir", required=True)
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="wall-clock budget in seconds (rounds keep "
+                        "starting until it is spent)")
+    p.add_argument("--min-rounds", type=int, default=1)
+    p.add_argument("--max-rounds", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--phases", default="collect,train,serve",
+                   help="comma-separated subset of collect,train,serve")
+    p.add_argument("--rates", default="",
+                   help="comma-separated site=rate overrides (expected "
+                        "faults per occurrence slot); default: every site "
+                        "at its chaos-default rate")
+    p.add_argument("--rate-scale", type=float, default=1.0,
+                   help="multiply every site's rate by this factor")
+    p.add_argument("--scale", default="mini")
+    p.add_argument("--schemes", default="cubic")
+    p.add_argument("--steps-per-round", type=int, default=6)
+    p.add_argument("--serve-ticks", type=int, default=40)
+    p.add_argument("--serve-flows", type=int, default=4)
+    p.add_argument("--workload-duration", type=float, default=1.0)
+    p.add_argument("--arrival-rate", type=float, default=40.0)
+    p.add_argument("--slo-mttr-p50", type=float, default=30.0)
+    p.add_argument("--slo-mttr-p99", type=float, default=120.0)
+    p.add_argument("--min-sites", type=int, default=0,
+                   help="fail unless faults fired at >= this many sites")
+    p.add_argument("--no-identity", action="store_true",
+                   help="skip the fault-free identity twin (halves runtime)")
+    p.add_argument("--out", default="",
+                   help="write BENCH_soak.json here")
+    p.set_defaults(func=_cmd_soak)
 
     p = sub.add_parser(
         "chaos", help="deterministic fault-injection plans"

@@ -34,7 +34,11 @@ from repro.datastore.manifest import (
     verify_store,
 )
 from repro.datastore.reader import ShardCache, ShardedPool
-from repro.datastore.writer import DEFAULT_SHARD_BYTES, ShardWriter
+from repro.datastore.writer import (
+    DEFAULT_SHARD_BYTES,
+    ShardWriter,
+    StoreFullError,
+)
 
 __all__ = [
     "DEFAULT_SHARD_BYTES",
@@ -43,6 +47,7 @@ __all__ = [
     "ShardRecord",
     "ShardWriter",
     "ShardedPool",
+    "StoreFullError",
     "TrajectoryRecord",
     "VerifyReport",
     "merge_stores",

@@ -230,6 +230,10 @@ class VerifyReport:
     corrupt: List[ShardProblem] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
     dropped_trajectories: int = 0
+    #: orphaned ``*.tmp`` files (a mid-flush crash's litter) found in the
+    #: store root; deleted when the audit runs with ``quarantine=True``
+    tmp_orphans: List[str] = field(default_factory=list)
+    tmp_removed: bool = False
 
     @property
     def clean(self) -> bool:
@@ -249,6 +253,12 @@ class VerifyReport:
                 f"quarantined {len(self.quarantined)} shard(s) "
                 f"({self.dropped_trajectories} trajectories dropped) -> "
                 f"{QUARANTINE_DIR}/"
+            )
+        if self.tmp_orphans:
+            verb = "swept" if self.tmp_removed else "found"
+            lines.append(
+                f"{verb} {len(self.tmp_orphans)} orphaned .tmp file(s): "
+                + ", ".join(self.tmp_orphans)
             )
         return "\n".join(lines)
 
@@ -286,6 +296,16 @@ def verify_store(root, quarantine: bool = True) -> VerifyReport:
         n_trajectories=len(manifest.trajectories),
         n_transitions=manifest.n_transitions,
     )
+    # sweep mid-flush litter: a crash between tmp-write and os.replace
+    # leaves *.tmp orphans the manifest knows nothing about
+    for tmp in sorted(root.glob("*.tmp")):
+        report.tmp_orphans.append(tmp.name)
+        if quarantine:
+            try:
+                tmp.unlink()
+                report.tmp_removed = True
+            except OSError:
+                pass
     bad: Dict[int, str] = {}
     for i, shard in enumerate(manifest.shards):
         problem = check_shard(root, shard)

@@ -19,6 +19,7 @@ Usage::
 
 from __future__ import annotations
 
+import errno
 import os
 from pathlib import Path
 from typing import List, Optional
@@ -34,11 +35,24 @@ from repro.datastore.manifest import (
     file_crc32,
 )
 
-__all__ = ["ShardWriter", "DEFAULT_SHARD_BYTES"]
+__all__ = ["ShardWriter", "StoreFullError", "DEFAULT_SHARD_BYTES"]
 
 #: default shard budget — big enough to amortize file overhead, small
 #: enough that a corrupt shard quarantines a sliver of the pool
 DEFAULT_SHARD_BYTES = 32 << 20
+
+#: approximate .npy v1 header bytes per component file, for budget math
+_NPY_HEADER_BYTES = 128
+
+
+class StoreFullError(OSError):
+    """A flush was refused (disk budget) or failed (``ENOSPC``) atomically.
+
+    Either way the store on disk is untouched — the manifest still
+    describes exactly the shards committed before the failed flush — and
+    the writer's buffer is preserved, so the caller can free space (or
+    raise the budget) and call ``flush()`` again.
+    """
 
 
 class ShardWriter:
@@ -62,6 +76,12 @@ class ShardWriter:
         matching shard's files *after* the shard and manifest commit — the
         corruption is exactly what
         :func:`~repro.datastore.manifest.verify_store` must catch.
+    disk_budget_bytes:
+        Optional hard cap on the store's total array bytes. A flush whose
+        projected size would cross it raises :class:`StoreFullError`
+        *before* touching disk; an ``ENOSPC`` from the filesystem
+        mid-flush is unwound to the same guarantee (committed-prefix
+        manifest, buffer preserved).
     """
 
     def __init__(
@@ -70,9 +90,15 @@ class ShardWriter:
         shard_bytes: int = DEFAULT_SHARD_BYTES,
         append: bool = False,
         chaos=None,
+        disk_budget_bytes: Optional[int] = None,
     ) -> None:
         if shard_bytes < 1:
             raise ValueError("shard_bytes must be positive")
+        if disk_budget_bytes is not None and disk_budget_bytes < 1:
+            raise ValueError("disk_budget_bytes must be positive or None")
+        self.disk_budget_bytes = (
+            None if disk_budget_bytes is None else int(disk_budget_bytes)
+        )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.shard_bytes = int(shard_bytes)
@@ -153,6 +179,14 @@ class ShardWriter:
         )
 
     # ------------------------------------------------------------------
+    def _store_bytes(self) -> int:
+        """Total array bytes already committed to the store."""
+        if self.manifest is None:
+            return 0
+        return sum(
+            f.bytes for s in self.manifest.shards for f in s.files.values()
+        )
+
     def _commit_array(self, name: str, arr: np.ndarray) -> ShardFile:
         """Atomically write one component array and checksum it."""
         path = self.root / name
@@ -181,11 +215,45 @@ class ShardWriter:
         rewards = np.concatenate(
             [np.asarray(t.rewards, dtype=dtypes["rewards"]) for t in self._buffer]
         )
-        files = {
-            "states": self._commit_array(f"{name}.states.npy", states),
-            "actions": self._commit_array(f"{name}.actions.npy", actions),
-            "rewards": self._commit_array(f"{name}.rewards.npy", rewards),
-        }
+        projected = (
+            states.nbytes + actions.nbytes + rewards.nbytes
+            + 3 * _NPY_HEADER_BYTES
+        )
+        if (
+            self.disk_budget_bytes is not None
+            and self._store_bytes() + projected > self.disk_budget_bytes
+        ):
+            raise StoreFullError(
+                f"flush refused: shard would grow the store to "
+                f"~{self._store_bytes() + projected} bytes, over the "
+                f"{self.disk_budget_bytes}-byte budget; the manifest still "
+                f"describes the {shard_idx} committed shard(s) and the "
+                f"buffer is preserved"
+            )
+        files = {}
+        parts = (("states", states), ("actions", actions), ("rewards", rewards))
+        try:
+            for part, arr in parts:
+                files[part] = self._commit_array(f"{name}.{part}.npy", arr)
+        except OSError as exc:
+            # unwind this shard's files so the store matches its manifest
+            # (which never saw the shard); the buffer stays intact
+            for part, _ in parts:
+                for victim in (
+                    self.root / f"{name}.{part}.npy",
+                    self.root / f"{name}.{part}.npy.tmp",
+                ):
+                    try:
+                        victim.unlink()
+                    except OSError:
+                        pass
+            if exc.errno == errno.ENOSPC:
+                raise StoreFullError(
+                    f"flush of {name} hit ENOSPC and was unwound; the "
+                    f"manifest still describes the {shard_idx} committed "
+                    f"shard(s) and the buffer is preserved"
+                ) from exc
+            raise
         manifest.shards.append(
             ShardRecord(
                 name=name,

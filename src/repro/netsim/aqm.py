@@ -19,6 +19,7 @@ next to :attr:`AQM.drops`.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import deque
 from typing import Dict, Optional
 
@@ -522,10 +523,21 @@ class LearnedECN(AQM):
             raise ValueError(
                 f"threshold_frac must be in (0, 1], got {threshold_frac}"
             )
+        self.load_warning: Optional[str] = None
         if checkpoint is not None and predictor is None:
             from repro.netsim.ecn_model import EcnPredictor
 
-            predictor = EcnPredictor.load(checkpoint)
+            try:
+                predictor = EcnPredictor.load(checkpoint)
+            except (ValueError, OSError) as exc:
+                # graceful degradation: a corrupt/missing model must not
+                # take the queue down — fall back to threshold marking
+                # and record why, so setup can surface it
+                self.load_warning = (
+                    f"ECN predictor {checkpoint} unusable ({exc}); "
+                    f"falling back to threshold marking"
+                )
+                warnings.warn(self.load_warning, RuntimeWarning, stacklevel=2)
         self.predictor = predictor
         self.checkpoint = checkpoint
         self.threshold_frac = threshold_frac

@@ -151,6 +151,35 @@ class PipelineState:
                 out.append({"stage": st.name, **ev})
         return out
 
+    def status_json(self) -> Dict:
+        """Machine-readable run summary (CLI ``pipeline status --json``).
+
+        Everything CI needs to gate on without parsing the table: stage
+        states with attempts/durations, the flattened fault log, and the
+        completion verdict.
+        """
+        stages = []
+        for st in self.stages:
+            duration = None
+            if st.started_at is not None and st.finished_at is not None:
+                duration = round(st.finished_at - st.started_at, 6)
+            stages.append(
+                {
+                    "name": st.name,
+                    "status": st.status,
+                    "attempts": st.attempts,
+                    "duration_s": duration,
+                    "error": st.error,
+                }
+            )
+        return {
+            "complete": self.complete,
+            "created_at": self.created_at,
+            "stages": stages,
+            "faults": self.fault_log(),
+            "n_events": len(self.events),
+        }
+
     def format_status(self) -> str:
         """Human-readable run summary (CLI ``pipeline status``)."""
         lines = ["stage      status    attempts  detail"]

@@ -1,0 +1,106 @@
+"""Process resource guards: RSS watermark checks for long-lived runs.
+
+The soak layer's answer to slow death by memory: the trainer's shard
+cache and the server's metrics sample lists both grow with run length,
+and a multi-hour process should shed cache under pressure rather than be
+OOM-killed mid-checkpoint. :func:`rss_bytes` reads the process's resident
+set (``/proc/self/status`` VmRSS, with a ``getrusage`` fallback off
+Linux); :class:`MemoryGuard` polls it every ``check_every`` calls and
+fires registered release valves — ``ShardedPool.drop_cache``,
+``ServingMetrics.shrink`` — whenever the soft watermark is crossed.
+
+Guards are advisory by design: they free what can be recomputed and
+record that they did, but never raise — dying on the guard would defeat
+its purpose.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["rss_bytes", "MemoryGuard"]
+
+
+def rss_bytes() -> int:
+    """Current resident set size in bytes (0 if unmeasurable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; either way it is a
+        # peak, so only the fallback path over-reports
+        return int(usage.ru_maxrss) * 1024
+    except (OSError, ValueError):
+        return 0
+
+
+class MemoryGuard:
+    """Soft RSS watermark with registered release valves.
+
+    ``maybe_check()`` is cheap enough for per-tick / per-step call sites:
+    it counts calls and only reads RSS every ``check_every``-th one. When
+    RSS exceeds ``soft_limit_bytes`` every registered callback fires (in
+    registration order) and the event is appended to ``events`` with the
+    RSS before and after — the soak report's evidence that the guard ran.
+    """
+
+    def __init__(
+        self,
+        soft_limit_bytes: int,
+        check_every: int = 64,
+        measure: Callable[[], int] = rss_bytes,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if soft_limit_bytes <= 0:
+            raise ValueError("soft_limit_bytes must be > 0")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.soft_limit_bytes = int(soft_limit_bytes)
+        self.check_every = int(check_every)
+        self.measure = measure
+        self.clock = clock
+        self._calls = 0
+        self._valves: List[Tuple[str, Callable[[], object]]] = []
+        self.events: List[Dict] = []
+
+    def add_valve(self, name: str, release: Callable[[], object]) -> None:
+        """Register a release valve; its return value is recorded."""
+        self._valves.append((str(name), release))
+
+    def maybe_check(self) -> Optional[Dict]:
+        """Count one call site visit; poll RSS on every Nth.
+
+        Returns the event dict when the watermark tripped, else ``None``.
+        """
+        self._calls += 1
+        if self._calls % self.check_every:
+            return None
+        return self.check()
+
+    def check(self) -> Optional[Dict]:
+        """Poll RSS now; fire every valve if over the watermark."""
+        before = self.measure()
+        if before <= self.soft_limit_bytes:
+            return None
+        released = {}
+        for name, release in self._valves:
+            try:
+                released[name] = release()
+            except Exception as exc:  # advisory: never let a valve kill us
+                released[name] = f"error: {exc}"
+        event = {
+            "at": self.clock(),
+            "rss_before": int(before),
+            "rss_after": int(self.measure()),
+            "limit": self.soft_limit_bytes,
+            "released": released,
+        }
+        self.events.append(event)
+        return event

@@ -37,16 +37,21 @@ historical ``SageAgent`` — the pretrained-checkpoint gates depend on that.
 
 from __future__ import annotations
 
+import copy
 import time
+import zipfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.collector.gr_unit import STATE_DIM, normalize_state
 from repro.core.networks import FastPolicy, SagePolicy
+from repro.resources import MemoryGuard
 from repro.serve.fallback import RatioFallback, make_fallback
 from repro.serve.metrics import ServingMetrics
+from repro.serve.state import load_snapshot, save_snapshot
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,10 @@ class ServeConfig:
     initial_capacity: int = 16
     confidence_threshold: Optional[float] = None
     refresh_every: Optional[int] = None
+    #: soft RSS watermark in MB; crossing it shrinks the metrics sample
+    #: lists instead of letting a long soak grow without bound (None = off)
+    rss_soft_limit_mb: Optional[float] = None
+    rss_check_every: int = 256
 
     def __post_init__(self) -> None:
         if self.max_misses < 1:
@@ -87,6 +96,10 @@ class ServeConfig:
             raise ValueError("initial_capacity must be >= 1")
         if self.refresh_every is not None and self.refresh_every < 2:
             raise ValueError("refresh_every must be >= 2 (or None)")
+        if self.rss_soft_limit_mb is not None and self.rss_soft_limit_mb <= 0:
+            raise ValueError("rss_soft_limit_mb must be > 0 or None")
+        if self.rss_check_every < 1:
+            raise ValueError("rss_check_every must be >= 1")
 
 
 @dataclass
@@ -156,6 +169,20 @@ class PolicyServer:
         self.distilled = distilled
         self._chaos = chaos
         self._tick_index = 0  # NN forwards served, for chaos targeting
+        #: serving-setup degradations (e.g. a corrupt distilled checkpoint)
+        self.warnings: List[str] = []
+        #: one report dict per reload_policy() call, accepted or not
+        self.reload_events: List[Dict] = []
+        self.memory_guard: Optional[MemoryGuard] = None
+        if self.config.rss_soft_limit_mb is not None:
+            self.memory_guard = MemoryGuard(
+                int(self.config.rss_soft_limit_mb * 1e6),
+                check_every=self.config.rss_check_every,
+            )
+            # bind late: self.metrics is swapped wholesale by restore()
+            self.memory_guard.add_valve(
+                "metrics.shrink", lambda: self.metrics.shrink()
+            )
 
         h0 = self.fast.initial_state()
         self._hdim = 0 if h0 is None else len(h0)
@@ -254,6 +281,8 @@ class PolicyServer:
         degradation remain individual (flows join and leave batches at
         different times).
         """
+        if self.memory_guard is not None:
+            self.memory_guard.maybe_check()
         if not self._pending:
             return {}
         pending, self._pending = self._pending, {}
@@ -438,3 +467,134 @@ class PolicyServer:
             row = h_next[i]
             if np.all(np.isfinite(row)):
                 self._table[sess.row] = row
+
+    # ------------------------------------------------------------------
+    # crash tolerance: snapshot / restore, hot reload, tier-0 mounting
+    # ------------------------------------------------------------------
+    def snapshot(self, path) -> None:
+        """Persist the complete per-flow serving state (see serve.state).
+
+        Atomic (tmp-then-replace) with a CRC32 sidecar; a server restored
+        from the file continues the decision stream bit-identically.
+        """
+        save_snapshot(self, path)
+
+    def restore(self, path) -> None:
+        """Load a :meth:`snapshot` file into this server, in place.
+
+        The server must hold the same policy checkpoint the snapshot was
+        taken with; sessions, column state, pending submissions, and
+        metrics are replaced wholesale. Raises ``ValueError`` on a corrupt
+        or mismatched snapshot.
+        """
+        load_snapshot(self, path)
+
+    def mount_distilled(self, source) -> Optional[str]:
+        """Mount (or replace) the tier-0 symbolic controller.
+
+        ``source`` is a :class:`~repro.distill.DistilledPolicy`, a
+        checkpoint path, or ``None`` (unmount). A corrupt or unreadable
+        checkpoint does **not** raise: serving setup proceeds on the NN
+        tier, and the warning is recorded in ``self.warnings`` and
+        returned.
+        """
+        from repro.distill.model import DistilledPolicy
+
+        if source is None or isinstance(source, DistilledPolicy):
+            self.distilled = source
+            return None
+        try:
+            self.distilled = DistilledPolicy.load(source)
+        except (ValueError, OSError) as exc:
+            warning = (
+                f"distilled controller {source} unusable ({exc}); "
+                f"serving stays on the NN tier"
+            )
+            self.warnings.append(warning)
+            return warning
+        return None
+
+    def _read_policy_params(self, path) -> Dict[str, np.ndarray]:
+        """Read a policy state dict from an agent- or trainer-format npz."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                keys = list(data.files)
+                if any(k.startswith("policy/") for k in keys):
+                    return {
+                        k[len("policy/"):]: data[k]
+                        for k in keys if k.startswith("policy/")
+                    }
+                return {k: data[k] for k in keys}
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+            raise ValueError(
+                f"checkpoint {path} is not a valid .npz archive: {exc}"
+            ) from exc
+
+    def reload_policy(
+        self,
+        path,
+        probe_batch: int = 32,
+        max_log_ratio_shift: Optional[float] = None,
+    ) -> Dict:
+        """Hot-swap the served policy from a checkpoint, shadow-validated.
+
+        The candidate net is built next to the serving one and forwarded
+        on a deterministic probe batch first; it is only swapped in if
+        every probe output (ratios and hidden states) is finite — and,
+        when ``max_log_ratio_shift`` is set, if its actions stay within
+        that log-ratio distance of the serving policy's on the probe. On
+        rejection the old weights keep serving, untouched. Accepts both
+        agent-format checkpoints (``SageAgent.save``) and trainer
+        checkpoints (``policy/``-prefixed keys). Per-flow hidden state is
+        preserved across an accepted swap.
+
+        Returns (and appends to ``self.reload_events``) a report dict:
+        ``{"path", "accepted", "reason"}``.
+        """
+        report: Dict = {"path": str(path), "accepted": False, "reason": ""}
+        try:
+            state = self._read_policy_params(path)
+            candidate = copy.deepcopy(self.policy)
+            candidate.load_state_dict(state)
+            fast = FastPolicy(candidate)
+        except (ValueError, OSError) as exc:
+            report["reason"] = f"unusable checkpoint: {exc}"
+            self.reload_events.append(report)
+            return report
+
+        rng = np.random.default_rng((self.config.seed, 0x5EED))
+        x = rng.standard_normal((int(probe_batch), STATE_DIM))
+        h = np.zeros((int(probe_batch), self._hdim)) if self._hdim else None
+        with np.errstate(all="ignore"):
+            ratios, h_next = fast.step_batch(x, h)
+        finite = np.all(np.isfinite(ratios)) and (
+            h_next is None or bool(np.all(np.isfinite(h_next)))
+        )
+        if not finite:
+            report["reason"] = (
+                "shadow validation failed: non-finite outputs on the "
+                "probe batch"
+            )
+            self.reload_events.append(report)
+            return report
+        if max_log_ratio_shift is not None:
+            old_ratios, _ = self.fast.step_batch(x, h)
+            shift = float(
+                np.max(np.abs(np.log(ratios) - np.log(old_ratios)))
+            )
+            if shift > max_log_ratio_shift:
+                report["reason"] = (
+                    f"shadow validation failed: max |d log ratio| "
+                    f"{shift:.4g} exceeds {max_log_ratio_shift:g} on the "
+                    f"probe batch"
+                )
+                self.reload_events.append(report)
+                return report
+
+        self.policy = candidate
+        self.fast = fast
+        report["accepted"] = True
+        report["reason"] = "shadow validation passed"
+        self.reload_events.append(report)
+        return report

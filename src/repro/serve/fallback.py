@@ -43,6 +43,14 @@ class RatioFallback:
         """
         raise NotImplementedError
 
+    # -- snapshot/restore (server crash tolerance) ---------------------
+    def state_dict(self) -> Dict[str, float]:
+        """JSON-able controller state; stateless fallbacks return ``{}``."""
+        return {}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        """Restore :meth:`state_dict` output; default is a no-op."""
+
 
 class CubicFallback(RatioFallback):
     """TCP CUBIC's window curve, re-derived as a per-tick ratio.
@@ -76,6 +84,13 @@ class CubicFallback(RatioFallback):
         k = (self._w_max * (1.0 - self.BETA) / self.C) ** (1.0 / 3.0)
         target = self.C * (self._t - k) ** 3 + self._w_max
         return _clip(target / cwnd)
+
+    def state_dict(self) -> Dict[str, float]:
+        return {"w_max": self._w_max, "t": self._t}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        self._w_max = float(state.get("w_max", 0.0))
+        self._t = float(state.get("t", 0.0))
 
 
 class AimdFallback(RatioFallback):

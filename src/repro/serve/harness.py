@@ -28,7 +28,13 @@ from repro.serve.engine import PolicyServer, ServeConfig
 from repro.tcp.flow import Flow, FlowStats
 from repro.workload.fct import FctSummary
 from repro.workload.generator import WorkloadConfig, generate_schedule
-from repro.workload.runner import _Runner, _Session, apply_linkflap, main_paths
+from repro.workload.runner import (
+    _Runner,
+    _Session,
+    apply_aqmstall,
+    apply_linkflap,
+    main_paths,
+)
 
 
 @dataclass(frozen=True)
@@ -267,6 +273,7 @@ def run_served_workload(
 
     schedule = generate_schedule(cfg.workload(), chaos=chaos)
     flapped = apply_linkflap(topo, chaos, cfg.duration)
+    apply_aqmstall(topo, chaos, cfg.duration)
     for arrival in schedule:
         session = _Session(runner, arrival)
         loop.call_at(arrival.time, session.start_next)

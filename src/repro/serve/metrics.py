@@ -86,6 +86,70 @@ class ServingMetrics:
         self.flows_abandoned += n
 
     # ------------------------------------------------------------------
+    # snapshot/restore (server crash tolerance) + memory-pressure shrink
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Full JSON-able state (unlike :meth:`snapshot`, loses nothing).
+
+        Python's ``json`` round-trips floats exactly (shortest-repr), so
+        a restored metrics object reports bit-identical percentiles.
+        """
+        return {
+            "latencies_s": list(self.latencies_s),
+            "batch_hist": {str(k): v for k, v in self.batch_hist.items()},
+            "sources": dict(self.sources),
+            "ticks": self.ticks,
+            "decisions": self.decisions,
+            "deadline_misses": self.deadline_misses,
+            "invalid_actions": self.invalid_actions,
+            "tier_latencies_s": {
+                k: list(v) for k, v in self.tier_latencies_s.items()
+            },
+            "fcts_s": list(self.fcts_s),
+            "flows_abandoned": self.flows_abandoned,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServingMetrics":
+        """Rebuild a metrics object from :meth:`to_state` output."""
+        m = cls()
+        m.latencies_s = [float(v) for v in state.get("latencies_s", [])]
+        m.batch_hist = {
+            int(k): int(v) for k, v in state.get("batch_hist", {}).items()
+        }
+        m.sources.update(
+            {str(k): int(v) for k, v in state.get("sources", {}).items()}
+        )
+        m.ticks = int(state.get("ticks", 0))
+        m.decisions = int(state.get("decisions", 0))
+        m.deadline_misses = int(state.get("deadline_misses", 0))
+        m.invalid_actions = int(state.get("invalid_actions", 0))
+        for k, v in state.get("tier_latencies_s", {}).items():
+            m.tier_latencies_s[str(k)] = [float(x) for x in v]
+        m.fcts_s = [float(v) for v in state.get("fcts_s", [])]
+        m.flows_abandoned = int(state.get("flows_abandoned", 0))
+        return m
+
+    def shrink(self, keep: int = 4096) -> int:
+        """Drop the oldest latency/FCT samples, keeping the last ``keep``.
+
+        The memory-pressure release valve for long soaks: the per-sample
+        lists are the only unbounded state here, while every counter and
+        the batch histogram stay exact. Returns the number of samples
+        dropped.
+        """
+        keep = max(int(keep), 0)
+        dropped = 0
+        for samples in (
+            self.latencies_s, self.fcts_s, *self.tier_latencies_s.values()
+        ):
+            excess = len(samples) - keep
+            if excess > 0:
+                del samples[:excess]
+                dropped += excess
+        return dropped
+
+    # ------------------------------------------------------------------
     def latency_percentile_ms(self, q: float) -> float:
         if not self.latencies_s:
             return 0.0

@@ -1,0 +1,35 @@
+"""repro.soak — the continuous-chaos soak harness.
+
+Where ``repro.chaos`` plans *individual* faults and the pipeline tests
+assert recovery from each, this package runs the whole system under a
+continuous stochastic fault schedule for a wall-clock budget and holds it
+to recovery SLOs:
+
+- :class:`SoakConfig` / :func:`run_soak` (``harness``) — the round loop:
+  collect -> verify -> train -> serve under a fresh per-round
+  :class:`~repro.chaos.process.FaultProcess`, with snapshot/restore and
+  hot-reload exercises, invariant assertions, and an optional fault-free
+  identity twin;
+- ``report`` — :class:`FaultObserver` (detection latency and
+  time-to-recovery per fired fault), MTTR percentile aggregation, SLO
+  evaluation, and the atomic ``BENCH_soak.json`` writer.
+"""
+
+from repro.soak.harness import SoakConfig, run_soak
+from repro.soak.report import (
+    SOAK_SCHEMA_VERSION,
+    FaultObserver,
+    aggregate_faults,
+    evaluate_slos,
+    write_soak_report,
+)
+
+__all__ = [
+    "SOAK_SCHEMA_VERSION",
+    "FaultObserver",
+    "SoakConfig",
+    "aggregate_faults",
+    "evaluate_slos",
+    "run_soak",
+    "write_soak_report",
+]

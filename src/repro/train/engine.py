@@ -83,10 +83,23 @@ class FastCRRTrainer(CRRTrainer):
         prefetch: int = 0,
         sampler_workers: int = 1,
         chaos=None,
+        rss_soft_limit_mb: Optional[float] = None,
     ) -> None:
         super().__init__(pool, net_config, config, seed, state_mask)
         self._chaos = chaos
         self._bufs = fp.BufferPool()
+        #: optional RSS watermark: crossing it drops the pool's hot-shard
+        #: cache (recomputable state) instead of letting a long training
+        #: run be OOM-killed mid-checkpoint
+        self.memory_guard = None
+        if rss_soft_limit_mb is not None:
+            from repro.resources import MemoryGuard
+
+            self.memory_guard = MemoryGuard(
+                int(rss_soft_limit_mb * 1e6), check_every=16
+            )
+            if hasattr(pool, "drop_cache"):
+                self.memory_guard.add_valve("pool.drop_cache", pool.drop_cache)
         #: Worker layout, recorded in checkpoints: ``(0, 0)`` for this
         #: single-process engine; :class:`~repro.train.parallel
         #: .DataParallelTrainer` overrides with ``(N, grains)``. The layout
@@ -360,6 +373,8 @@ class FastCRRTrainer(CRRTrainer):
         snapshot = self.capture_state() if guard is not None else None
         metrics: Dict[str, float] = {}
         while self.steps_done < end:
+            if self.memory_guard is not None:
+                self.memory_guard.maybe_check()
             if guard is not None:
                 restored = int(snapshot["meta/steps_done"][0])
                 try:
